@@ -1,0 +1,124 @@
+// Command tapsagent is a host-side TAPS endpoint for the tapsctl
+// controller: it registers as a host, submits one task, executes the
+// granted schedule for the flows it sends, and prints the outcomes.
+//
+// Flows are given as src:dst:bytes triples of host node IDs (list them
+// with cmd/tapstopo):
+//
+//	tapsagent -controller 127.0.0.1:7474 -host 9 \
+//	    -task 1 -deadline 50 -flows 9:14:125000,9:20:250000
+//
+// The agent only transmits the flows whose src equals its own -host; run
+// one agent per sending host and submit the task from any of them (the
+// controller broadcasts grants to all agents).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"taps/internal/netctl"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+func main() {
+	var (
+		controller = flag.String("controller", "127.0.0.1:7474", "controller address")
+		host       = flag.Int("host", 0, "node ID of the host this agent runs on")
+		name       = flag.String("name", "", "agent name (default host<ID>)")
+		task       = flag.Int64("task", 0, "task ID to submit (0: register and wait only)")
+		deadline   = flag.Float64("deadline", 40, "task deadline in virtual ms")
+		flows      = flag.String("flows", "", "comma-separated src:dst:bytes triples")
+		trace      = flag.String("trace", "", "submit a workload trace (JSON from workload.WriteJSON) instead of -task/-flows")
+	)
+	flag.Parse()
+	if *name == "" {
+		*name = fmt.Sprintf("host%d", *host)
+	}
+
+	agent, err := netctl.Dial(*controller, *name, topology.NodeID(*host))
+	if err != nil {
+		fatal(err)
+	}
+	defer agent.Close()
+
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		tasks, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		accepted, rejected, err := agent.SubmitTrace(tasks, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d tasks accepted, %d rejected; executing local flows...\n",
+			accepted, rejected)
+	} else if *task != 0 {
+		infos, err := parseFlows(*flows, *task)
+		if err != nil {
+			fatal(err)
+		}
+		err = agent.SubmitTask(*task, simtime.FromMillis(*deadline), infos)
+		switch {
+		case errors.Is(err, netctl.ErrRejected):
+			fmt.Printf("task %d REJECTED by the controller\n", *task)
+			return
+		case err != nil:
+			fatal(err)
+		}
+		fmt.Printf("task %d accepted; executing local flows...\n", *task)
+	}
+	agent.WaitLocalFlows()
+	for _, o := range agent.Outcomes() {
+		status := "ON TIME"
+		if !o.OnTime {
+			status = "LATE"
+		}
+		fmt.Printf("flow %d finished at %.3f ms (deadline %.3f ms) %s\n",
+			o.ID, simtime.ToMillis(o.Finish), simtime.ToMillis(o.Deadline), status)
+	}
+}
+
+// parseFlows decodes src:dst:bytes triples; flow IDs are derived from the
+// task ID and the flow index.
+func parseFlows(s string, task int64) ([]netctl.FlowInfo, error) {
+	if s == "" {
+		return nil, errors.New("tapsagent: -flows is required with -task")
+	}
+	var out []netctl.FlowInfo
+	for i, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("tapsagent: flow %q: want src:dst:bytes", part)
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		size, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("tapsagent: flow %q: numeric fields required", part)
+		}
+		out = append(out, netctl.FlowInfo{
+			ID:   uint64(task)<<16 | uint64(i),
+			Src:  topology.NodeID(src),
+			Dst:  topology.NodeID(dst),
+			Size: size,
+		})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tapsagent:", err)
+	os.Exit(1)
+}

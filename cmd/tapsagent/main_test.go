@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlows(t *testing.T) {
+	flows, err := parseFlows("1:2:1000,3:4:250000", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if flows[0].Src != 1 || flows[0].Dst != 2 || flows[0].Size != 1000 {
+		t.Fatalf("flow0 = %+v", flows[0])
+	}
+	if flows[1].Size != 250000 {
+		t.Fatalf("flow1 = %+v", flows[1])
+	}
+	if flows[0].ID == flows[1].ID {
+		t.Fatal("flow IDs must be distinct")
+	}
+	if flows[0].ID>>16 != 7 {
+		t.Fatalf("flow ID must embed the task: %d", flows[0].ID)
+	}
+}
+
+func TestParseFlowsErrors(t *testing.T) {
+	for _, bad := range []string{"", "1:2", "a:b:c", "1:2:3:4"} {
+		if _, err := parseFlows(bad, 1); err == nil {
+			t.Errorf("parseFlows(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseFlowsErrorMentionsInput(t *testing.T) {
+	_, err := parseFlows("x:y:z", 1)
+	if err == nil || !strings.Contains(err.Error(), "x:y:z") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command tapsbed runs the §VI testbed emulation and prints the Fig. 14
+// effective-application-throughput timeline (TAPS vs Fair Sharing) as a
+// table plus an ASCII chart.
+//
+// Usage:
+//
+//	tapsbed                         # stress spec (the Fig. 14 regime)
+//	tapsbed -spec paper             # the literal §VI parameters
+//	tapsbed -flows 200 -size 256 -deadline 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taps/internal/experiments"
+	"taps/internal/simtime"
+)
+
+func main() {
+	var (
+		specFlag = flag.String("spec", "stress", "base spec: stress (Fig. 14 regime) or paper (literal §VI numbers)")
+		tasks    = flag.Int("tasks", 0, "override task count")
+		flows    = flag.Int("flows", 0, "override flows per task")
+		sizeKB   = flag.Int64("size", 0, "override mean flow size (KB)")
+		deadline = flag.Float64("deadline", 0, "override mean deadline (ms)")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	var spec experiments.TestbedSpec
+	switch *specFlag {
+	case "stress":
+		spec = experiments.StressTestbedSpec()
+	case "paper":
+		spec = experiments.PaperTestbedSpec()
+	default:
+		fmt.Fprintf(os.Stderr, "tapsbed: unknown spec %q\n", *specFlag)
+		os.Exit(1)
+	}
+	if *tasks > 0 {
+		spec.Tasks = *tasks
+	}
+	if *flows > 0 {
+		spec.FlowsPerTask = *flows
+	}
+	if *sizeKB > 0 {
+		spec.MeanSize = *sizeKB * 1024
+	}
+	if *deadline > 0 {
+		spec.MeanDeadline = simtime.FromMillis(*deadline)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	res, err := experiments.Fig14(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapsbed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("## Fig. 14 testbed: %d tasks x %d flows, mean size %d KB, mean deadline %.0f ms\n\n",
+		spec.Tasks, spec.FlowsPerTask, spec.MeanSize/1024, simtime.ToMillis(spec.MeanDeadline))
+	fmt.Printf("%-8s %-12s %-12s\n", "time_ms", "TAPS_%", "FairSharing_%")
+	n := len(res.Series[0].Y)
+	if len(res.Series[1].Y) > n {
+		n = len(res.Series[1].Y)
+	}
+	at := func(ys []float64, i int) float64 {
+		if i < len(ys) {
+			return ys[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("%-8d %-12.1f %-12.1f\n", i, at(res.Series[0].Y, i), at(res.Series[1].Y, i))
+	}
+
+	fmt.Println("\n## chart (T = TAPS, F = Fair Sharing, * = both)")
+	for i := 0; i < n; i++ {
+		tv := int(at(res.Series[0].Y, i) / 2)
+		fv := int(at(res.Series[1].Y, i) / 2)
+		width := max(tv, fv)
+		row := make([]byte, width+1)
+		for j := range row {
+			row[j] = ' '
+		}
+		if tv == fv {
+			row[tv] = '*'
+		} else {
+			row[tv] = 'T'
+			row[fv] = 'F'
+		}
+		fmt.Printf("%3dms |%s\n", i, strings.TrimRight(string(row), " "))
+	}
+
+	t, f := res.TAPS, res.FairSharing
+	fmt.Println("\n## summary")
+	fmt.Printf("%-14s tasks=%d/%d rejected=%d flows=%d/%d useful=%.0fB wasted=%.0fB msgs=%d installs=%d\n",
+		"TAPS", t.TasksCompleted, t.Tasks, t.TasksRejected, t.FlowsOnTime, t.Flows,
+		t.UsefulBytes, t.WastedBytes, t.ControlMessages, t.TableInstalls)
+	fmt.Printf("%-14s tasks=%d/%d flows=%d/%d useful=%.0fB wasted=%.0fB\n",
+		"FairSharing", f.TasksCompleted, f.Tasks, f.FlowsOnTime, f.Flows,
+		f.UsefulBytes, f.WastedBytes)
+}

@@ -1,0 +1,86 @@
+// Command tapsctl runs the networked TAPS controller (internal/netctl)
+// over a configured topology and serves host agents over TCP.
+//
+// Usage:
+//
+//	tapsctl -listen 127.0.0.1:7474 -topo testbed
+//	tapsctl -listen :7474 -topo fattree -k 8 -speedup 10
+//
+// Agents connect with cmd/tapsagent (or the netctl.Agent API), submit
+// tasks, and receive pre-allocated transmission slices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"taps/internal/netctl"
+	"taps/internal/topology"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7474", "address to listen on")
+		topo    = flag.String("topo", "testbed", "topology: testbed, tree, fattree, bcube, ficonn")
+		pods    = flag.Int("pods", 4, "tree: pods")
+		racks   = flag.Int("racks", 4, "tree: racks per pod")
+		hosts   = flag.Int("hosts", 10, "tree: hosts per rack")
+		k       = flag.Int("k", 4, "fattree: k / bcube: k")
+		n       = flag.Int("n", 4, "bcube: n")
+		speedup = flag.Float64("speedup", 1, "virtual µs per real µs")
+		paths   = flag.Int("paths", 16, "candidate path cap")
+		httpAt  = flag.String("http", "", "serve GET /status and /healthz on this address (empty: off)")
+	)
+	flag.Parse()
+
+	g, r, err := buildTopology(*topo, *pods, *racks, *hosts, *k, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapsctl:", err)
+		os.Exit(1)
+	}
+	ctl := netctl.NewController(g, r, netctl.ControllerConfig{
+		Speedup:  *speedup,
+		MaxPaths: *paths,
+		Logf:     log.Printf,
+	})
+	if *httpAt != "" {
+		go func() {
+			log.Printf("tapsctl: monitoring on http://%s/status", *httpAt)
+			if err := http.ListenAndServe(*httpAt, ctl.HTTPHandler()); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	log.Printf("tapsctl: %s topology, %d hosts, listening on %s (speedup %gx)",
+		*topo, len(g.Hosts()), *listen, *speedup)
+	if err := ctl.Serve(*listen); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildTopology(topo string, pods, racks, hosts, k, n int) (*topology.Graph, topology.Routing, error) {
+	switch topo {
+	case "testbed":
+		g, r := topology.PartialFatTree(topology.PaperTestbed())
+		return g, r, nil
+	case "tree":
+		g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+			Pods: pods, RacksPerPod: racks, HostsPerRack: hosts,
+			LinkCapacity: topology.Gbps(1),
+		})
+		return g, r, nil
+	case "fattree":
+		g, r := topology.FatTree(topology.FatTreeSpec{K: k, LinkCapacity: topology.Gbps(1)})
+		return g, topology.NewCachedRouting(r), nil
+	case "bcube":
+		g, r := topology.BCube(topology.BCubeSpec{N: n, K: k, LinkCapacity: topology.Gbps(1)})
+		return g, topology.NewCachedRouting(r), nil
+	case "ficonn":
+		g, r := topology.FiConn(topology.FiConnSpec{N: n, K: k, LinkCapacity: topology.Gbps(1)})
+		return g, topology.NewCachedRouting(r), nil
+	}
+	return nil, nil, fmt.Errorf("unknown topology %q", topo)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildTopology(t *testing.T) {
+	cases := []struct {
+		topo  string
+		hosts int
+	}{
+		{"testbed", 8},
+		{"tree", 4 * 4 * 10},
+		{"fattree", 16},  // k=4
+		{"bcube", 4 * 4}, // n=4, k=1: n^(k+1)
+	}
+	for _, c := range cases {
+		g, r, err := buildTopology(c.topo, 4, 4, 10, func() int {
+			if c.topo == "bcube" {
+				return 1
+			}
+			return 4
+		}(), 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.topo, err)
+		}
+		if len(g.Hosts()) != c.hosts {
+			t.Errorf("%s: hosts = %d, want %d", c.topo, len(g.Hosts()), c.hosts)
+		}
+		if r == nil {
+			t.Errorf("%s: nil routing", c.topo)
+		}
+	}
+	if _, _, err := buildTopology("nope", 1, 1, 1, 1, 1); err == nil {
+		t.Error("unknown topology must error")
+	}
+}

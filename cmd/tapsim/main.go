@@ -1,0 +1,267 @@
+// Command tapsim regenerates the paper's simulation figures (Figs. 1-3 and
+// 6-12) as text tables.
+//
+// Usage:
+//
+//	tapsim -fig 6 -scale laptop
+//	tapsim -fig all -scale bench
+//	tapsim -fig 9 -schedulers TAPS,PDQ,FairSharing -seed 7
+//
+// Scales: "laptop" (default, minutes for all figures), "bench" (seconds),
+// "paper" (§V-A full scale: 36,000-host tree; expect very long runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"taps/internal/analysis"
+	"taps/internal/experiments"
+	"taps/internal/metrics"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "figure to regenerate: 1,2,3,6,7,8,9,10,11,12,14, bcube, ficonn, mix, overhead (extensions), report, or all")
+		scaleFlag = flag.String("scale", "laptop", "experiment scale: paper, laptop, bench")
+		schedFlag = flag.String("schedulers", "", "comma-separated scheduler subset (default: all six)")
+		seedFlag  = flag.Int64("seed", 0, "override the workload seed (0 keeps the scale default)")
+		seedsFlag = flag.Int("seeds", 0, "average every sweep point over this many consecutive seeds")
+		outFlag   = flag.String("o", "", "write output to this file instead of stdout")
+		formatF   = flag.String("format", "table", "sweep output format: table, csv, json, chart")
+	)
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	scale, err := experiments.ScaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *seedFlag != 0 {
+		scale.Seed = *seedFlag
+	}
+	if *seedsFlag > 0 {
+		scale.Seeds = *seedsFlag
+	}
+	schedulers := experiments.AllSchedulers()
+	if *schedFlag != "" {
+		schedulers = strings.Split(*schedFlag, ",")
+		for _, s := range schedulers {
+			experiments.NewScheduler(s) // panics early on typos
+		}
+	}
+
+	figs := strings.Split(*figFlag, ",")
+	if *figFlag == "all" {
+		figs = []string{"1", "2", "3", "6", "7", "8", "9", "10", "11", "12", "14", "bcube", "ficonn", "mix", "overhead"}
+	}
+	for _, fig := range figs {
+		start := time.Now()
+		if err := runFigure(out, fig, scale, schedulers, *formatF); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "# fig %s done in %v (scale=%s, seed=%d)\n\n",
+			fig, time.Since(start).Round(time.Millisecond), scale.Name, scale.Seed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tapsim:", err)
+	os.Exit(1)
+}
+
+func runFigure(out io.Writer, fig string, scale experiments.Scale, schedulers []string, format string) error {
+	switch fig {
+	case "1", "2":
+		var rs []experiments.MotivationResult
+		var err error
+		if fig == "1" {
+			rs, err = experiments.Fig1(schedulers)
+		} else {
+			rs, err = experiments.Fig2(schedulers)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "## Fig. %s motivation example\n", fig)
+		fmt.Fprintf(out, "%-14s %-14s %-14s\n", "scheduler", "flows_on_time", "tasks_completed")
+		for _, r := range rs {
+			fmt.Fprintf(out, "%-14s %-14d %-14d\n", r.Scheduler, r.FlowsOnTime, r.TasksCompleted)
+		}
+	case "3":
+		rs, err := experiments.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "## Fig. 3 global scheduling example")
+		for _, name := range []string{"PDQ", "TAPS"} {
+			fmt.Fprintf(out, "%-14s flows_on_time=%d\n", name, rs[name].FlowsOnTime)
+		}
+	case "6", "7", "8", "9", "10", "11", "12", "bcube", "ficonn":
+		res, err := sweepFigure(fig, scale, schedulers)
+		if err != nil {
+			return err
+		}
+		if err := writeSweep(out, fig, res, format, scale.Seeds); err != nil {
+			return err
+		}
+	case "report":
+		return writeReports(out, scale, schedulers)
+	case "mix":
+		res, err := experiments.ExtMix(scale, schedulers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Table(schedulers))
+	case "14":
+		res, err := experiments.Fig14(experiments.StressTestbedSpec())
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, metrics.Chart("Fig. 14 effective application throughput (%)", res.Series, 64, 16))
+		fmt.Fprintf(out, "TAPS tasks %d/%d (rejected %d), wasted %.1f MB; FairSharing tasks %d/%d, wasted %.1f MB\n",
+			res.TAPS.TasksCompleted, res.TAPS.Tasks, res.TAPS.TasksRejected, res.TAPS.WastedBytes/1e6,
+			res.FairSharing.TasksCompleted, res.FairSharing.Tasks, res.FairSharing.WastedBytes/1e6)
+	case "overhead":
+		points, err := experiments.ExtControlOverhead([]int{5, 10, 20, 40}, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.OverheadTable(points))
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// writeReports runs the default §V-A point for every scheduler with
+// segment recording on and prints link-utilization / completion-time
+// analytics (internal/analysis).
+func writeReports(out io.Writer, scale experiments.Scale, schedulers []string) error {
+	g, r := topology.SingleRootedTree(scale.Tree)
+	cr := topology.NewCachedRouting(r)
+	specs := workload.Generate(g, workload.Spec{
+		Tasks:            scale.Tasks,
+		MeanFlowsPerTask: scale.FlowsPerTask,
+		ArrivalRate:      scale.ArrivalRate,
+		Seed:             scale.Seed,
+	})
+	for _, name := range schedulers {
+		eng := sim.New(g, cr, experiments.NewScheduler(name), specs, sim.Config{
+			RecordSegments: true, MaxTime: simtime.Time(4e12),
+		})
+		res, err := eng.Run()
+		if err != nil {
+			return fmt.Errorf("report %s: %w", name, err)
+		}
+		report, err := analysis.Report(g, res, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, report)
+		tct := analysis.TCT(res)
+		fmt.Fprintf(out, "TCT: n=%d mean=%.3fms p95=%.3fms\n\n",
+			tct.Count, simtime.ToMillis(tct.Mean), simtime.ToMillis(tct.P95))
+	}
+	return nil
+}
+
+func sweepFigure(fig string, scale experiments.Scale, schedulers []string) (*experiments.SweepResult, error) {
+	switch fig {
+	case "6":
+		return experiments.Fig6(scale, schedulers)
+	case "7":
+		return experiments.Fig7(scale, schedulers)
+	case "8":
+		return experiments.Fig8(scale, schedulers)
+	case "9":
+		return experiments.Fig9(scale, schedulers)
+	case "10":
+		return experiments.Fig10(scale, schedulers)
+	case "11":
+		return experiments.Fig11(scale, schedulers)
+	case "bcube":
+		return experiments.ExtBCube(scale, schedulers)
+	case "ficonn":
+		return experiments.ExtFiConn(scale, schedulers)
+	}
+	return experiments.Fig12(scale, schedulers)
+}
+
+// figPanels selects which series groups a figure plots, with the aligned
+// stddev group for each panel.
+func figPanels(fig string, res *experiments.SweepResult) (titles []string, groups, stds [][]metrics.Series) {
+	switch fig {
+	case "6", "9":
+		return []string{
+				fmt.Sprintf("Fig. %s(a) application throughput (task-size ratio)", fig),
+				fmt.Sprintf("Fig. %s(b) task completion ratio", fig),
+			},
+			[][]metrics.Series{res.AppThroughput, res.TaskCompletion},
+			[][]metrics.Series{res.AppThroughputStd, res.TaskCompletionStd}
+	case "8":
+		return []string{"Fig. 8 wasted bandwidth ratio"},
+			[][]metrics.Series{res.WastedBandwidth},
+			[][]metrics.Series{res.WastedBandwidthStd}
+	case "10":
+		return []string{"Fig. 10 flow completion ratio (single-flow tasks)"},
+			[][]metrics.Series{res.FlowCompletion},
+			[][]metrics.Series{res.FlowCompletionStd}
+	case "bcube":
+		return []string{"Extension: BCube task completion ratio"},
+			[][]metrics.Series{res.TaskCompletion},
+			[][]metrics.Series{res.TaskCompletionStd}
+	case "ficonn":
+		return []string{"Extension: FiConn task completion ratio"},
+			[][]metrics.Series{res.TaskCompletion},
+			[][]metrics.Series{res.TaskCompletionStd}
+	}
+	return []string{fmt.Sprintf("Fig. %s task completion ratio", fig)},
+		[][]metrics.Series{res.TaskCompletion},
+		[][]metrics.Series{res.TaskCompletionStd}
+}
+
+func writeSweep(out io.Writer, fig string, res *experiments.SweepResult, format string, seeds int) error {
+	titles, groups, stds := figPanels(fig, res)
+	for i, group := range groups {
+		switch format {
+		case "table", "":
+			if seeds > 1 {
+				fmt.Fprint(out, metrics.TableWithError(titles[i], res.XLabel, group, stds[i]))
+			} else {
+				fmt.Fprint(out, metrics.Table(titles[i], res.XLabel, group))
+			}
+		case "csv":
+			fmt.Fprintf(out, "# %s\n", titles[i])
+			if err := metrics.WriteCSV(out, res.XLabel, group); err != nil {
+				return err
+			}
+		case "json":
+			if err := metrics.WriteJSON(out, res.XLabel, group); err != nil {
+				return err
+			}
+		case "chart":
+			fmt.Fprint(out, metrics.Chart(titles[i], group, 64, 16))
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil
+}

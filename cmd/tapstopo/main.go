@@ -1,0 +1,99 @@
+// Command tapstopo inspects the topologies used in the evaluation: node
+// and link counts, oversubscription, and sample equal-cost path sets.
+//
+// Usage:
+//
+//	tapstopo -topo tree -pods 30 -racks 30 -hosts 40
+//	tapstopo -topo fattree -k 8
+//	tapstopo -topo testbed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taps/internal/topology"
+)
+
+func main() {
+	var (
+		topoFlag = flag.String("topo", "tree", "topology: tree, fattree, testbed, bcube, ficonn")
+		pods     = flag.Int("pods", 4, "tree: pods")
+		racks    = flag.Int("racks", 4, "tree: racks per pod")
+		hosts    = flag.Int("hosts", 10, "tree: hosts per rack")
+		k        = flag.Int("k", 8, "fattree: k / bcube,ficonn: k")
+		n        = flag.Int("n", 4, "bcube, ficonn: n")
+		paths    = flag.Int("paths", 4, "sample paths to print per pair")
+		dotFlag  = flag.Bool("dot", false, "emit Graphviz DOT instead of the summary")
+	)
+	flag.Parse()
+
+	var (
+		g *topology.Graph
+		r topology.Routing
+	)
+	switch *topoFlag {
+	case "tree":
+		g, r = topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+			Pods: *pods, RacksPerPod: *racks, HostsPerRack: *hosts,
+			LinkCapacity: topology.Gbps(1),
+		})
+	case "fattree":
+		g, r = topology.FatTree(topology.FatTreeSpec{K: *k, LinkCapacity: topology.Gbps(1)})
+	case "testbed":
+		g, r = topology.PartialFatTree(topology.PaperTestbed())
+	case "bcube":
+		g, r = topology.BCube(topology.BCubeSpec{N: *n, K: *k, LinkCapacity: topology.Gbps(1)})
+	case "ficonn":
+		g, r = topology.FiConn(topology.FiConnSpec{N: *n, K: *k, LinkCapacity: topology.Gbps(1)})
+	default:
+		fmt.Fprintf(os.Stderr, "tapstopo: unknown topology %q\n", *topoFlag)
+		os.Exit(1)
+	}
+
+	if *dotFlag {
+		fmt.Print(topology.DOT(g))
+		return
+	}
+
+	counts := map[topology.Kind]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		counts[g.Node(topology.NodeID(i)).Kind]++
+	}
+	fmt.Printf("topology: %s\n", *topoFlag)
+	fmt.Printf("nodes: %d (hosts=%d tor=%d agg=%d core=%d)\n",
+		g.NumNodes(), counts[topology.Host], counts[topology.ToR],
+		counts[topology.Agg], counts[topology.Core])
+	fmt.Printf("directed links: %d, all %g Gbps\n", g.NumLinks(),
+		g.Link(0).Capacity*8/1e9)
+
+	hs := g.Hosts()
+	if len(hs) < 2 {
+		return
+	}
+	pairs := [][2]topology.NodeID{
+		{hs[0], hs[1]},
+		{hs[0], hs[len(hs)/2]},
+		{hs[0], hs[len(hs)-1]},
+	}
+	for _, pair := range pairs {
+		ps := r.Paths(pair[0], pair[1], 0, 0)
+		fmt.Printf("\n%s -> %s: %d equal-cost path(s)\n",
+			g.Node(pair[0]).Name, g.Node(pair[1]).Name, len(ps))
+		for i, p := range ps {
+			if i >= *paths {
+				fmt.Printf("  ... and %d more\n", len(ps)-*paths)
+				break
+			}
+			fmt.Print("  ")
+			for j, n := range g.PathNodes(p) {
+				if j > 0 {
+					fmt.Print(" -> ")
+				}
+				fmt.Print(g.Node(n).Name)
+			}
+			fmt.Println()
+		}
+	}
+}

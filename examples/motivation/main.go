@@ -1,0 +1,50 @@
+// Motivation walks through the three worked examples of §III-A (Figs. 1-3)
+// and shows how each scheduling philosophy fares on them, reproducing the
+// paper's flow/task completion counts exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taps/internal/experiments"
+)
+
+func main() {
+	fmt.Println("=== Fig. 1: task-level vs flow-level scheduling")
+	fmt.Println("two tasks on one bottleneck link;")
+	fmt.Println("t1 = {2@4, 4@4}, t2 = {1@4, 3@4} (size@deadline, time units)")
+	rs, err := experiments.Fig1(experiments.AllSchedulers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(rs)
+	fmt.Println("paper: Fair Sharing 1 flow/0 tasks, D3 1/0, PDQ 2/0, task-aware 2 flows + 1 task")
+
+	fmt.Println("\n=== Fig. 2: preemption vs FIFO admission")
+	fmt.Println("t1 = {1@4, 1@4} arrives first; t2 = {1@2, 1@2} is more urgent")
+	rs, err = experiments.Fig2(experiments.AllSchedulers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(rs)
+	fmt.Println("paper: Varys admits only t1 (no preemption) -> 1 task; TAPS re-plans -> 2 tasks")
+
+	fmt.Println("\n=== Fig. 3: global scheduling vs distributed pausing")
+	fmt.Println("4 flows through a 5-switch star; f4 (2@3) needs a split allocation (0,1)+(2,3)")
+	m, err := experiments.Fig3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"PDQ", "TAPS"} {
+		fmt.Printf("%-14s completes %d of 4 flows before deadline\n", name, m[name].FlowsOnTime)
+	}
+	fmt.Println("paper: PDQ completes 3 (f4 paused, then infeasible); global scheduling completes all 4")
+}
+
+func report(rs []experiments.MotivationResult) {
+	fmt.Printf("%-14s %-14s %-14s\n", "scheduler", "flows_on_time", "tasks_completed")
+	for _, r := range rs {
+		fmt.Printf("%-14s %-14d %-14d\n", r.Scheduler, r.FlowsOnTime, r.TasksCompleted)
+	}
+}

@@ -1,0 +1,3 @@
+module taps
+
+go 1.22

@@ -1,0 +1,224 @@
+// Package analysis post-processes finished simulation runs: per-link
+// utilization and bottleneck ranking from recorded transmission segments,
+// and flow-completion-time distributions. It exists for the operator-side
+// questions the paper's evaluation raises ("where does the bandwidth go?",
+// "which links gate admission?") that the headline ratios do not answer.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// LinkStats summarizes one link's traffic over a run.
+type LinkStats struct {
+	Link  topology.LinkID
+	Name  string
+	Bytes float64
+	// Busy is the total time at least one flow transmitted on the link.
+	Busy simtime.Time
+	// Utilization is Busy over the run duration (0..1).
+	Utilization float64
+}
+
+// LinkUtilization computes per-link statistics from a run recorded with
+// sim.Config.RecordSegments, sorted by bytes carried (descending). Links
+// that never carried traffic are omitted.
+func LinkUtilization(g *topology.Graph, res *sim.Result) ([]LinkStats, error) {
+	if res.Segments == nil {
+		return nil, fmt.Errorf("analysis: run has no recorded segments (set sim.Config.RecordSegments)")
+	}
+	busy := make(map[topology.LinkID]simtime.IntervalSet)
+	bytes := make(map[topology.LinkID]float64)
+	for _, f := range res.Flows {
+		for _, s := range res.Segments[f.ID] {
+			b := s.Rate * float64(s.Interval.Len()) / 1e6
+			for _, l := range f.Path {
+				set := busy[l]
+				set.Add(s.Interval)
+				busy[l] = set
+				bytes[l] += b
+			}
+		}
+	}
+	span := res.EndTime
+	if span <= 0 {
+		span = 1
+	}
+	out := make([]LinkStats, 0, len(busy))
+	for l, set := range busy {
+		out = append(out, LinkStats{
+			Link:        l,
+			Name:        g.Link(l).Name,
+			Bytes:       bytes[l],
+			Busy:        set.Total(),
+			Utilization: float64(set.Total()) / float64(span),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out, nil
+}
+
+// Bottlenecks returns the topN busiest links by utilization.
+func Bottlenecks(g *topology.Graph, res *sim.Result, topN int) ([]LinkStats, error) {
+	stats, err := LinkUtilization(g, res)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Utilization != stats[j].Utilization {
+			return stats[i].Utilization > stats[j].Utilization
+		}
+		return stats[i].Link < stats[j].Link
+	})
+	if topN > 0 && topN < len(stats) {
+		stats = stats[:topN]
+	}
+	return stats, nil
+}
+
+// FCTStats is the distribution of flow completion times (finish - arrival)
+// over the flows that completed, on time or late.
+type FCTStats struct {
+	Count            int
+	Mean             simtime.Time
+	P50, P95, P99    simtime.Time
+	Max              simtime.Time
+	OnTimeCount      int
+	MeanOnTimeMargin simtime.Time // mean (deadline - finish) over on-time flows
+}
+
+// FCT computes completion-time statistics for a finished run.
+func FCT(res *sim.Result) FCTStats {
+	var fcts []simtime.Time
+	var stats FCTStats
+	var marginSum simtime.Time
+	for _, f := range res.Flows {
+		if f.State != sim.FlowDone {
+			continue
+		}
+		fcts = append(fcts, f.Finish-f.Arrival)
+		if f.OnTime() {
+			stats.OnTimeCount++
+			marginSum += f.Deadline - f.Finish
+		}
+	}
+	stats.Count = len(fcts)
+	if stats.Count == 0 {
+		return stats
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	var sum simtime.Time
+	for _, v := range fcts {
+		sum += v
+	}
+	stats.Mean = sum / simtime.Time(len(fcts))
+	stats.P50 = percentile(fcts, 50)
+	stats.P95 = percentile(fcts, 95)
+	stats.P99 = percentile(fcts, 99)
+	stats.Max = fcts[len(fcts)-1]
+	if stats.OnTimeCount > 0 {
+		stats.MeanOnTimeMargin = marginSum / simtime.Time(stats.OnTimeCount)
+	}
+	return stats
+}
+
+// TCTStats is the distribution of task completion times (last flow finish
+// minus task arrival) over the tasks whose every flow was delivered —
+// Baraat's optimization target, useful for checking the baselines against
+// their own design goals.
+type TCTStats struct {
+	Count         int
+	Mean          simtime.Time
+	P50, P95, Max simtime.Time
+}
+
+// TCT computes task-completion-time statistics. A task counts when all of
+// its flows reached FlowDone (on time or late); tasks with killed flows
+// never completed and are excluded.
+func TCT(res *sim.Result) TCTStats {
+	var tcts []simtime.Time
+	for _, task := range res.Tasks {
+		if len(task.Flows) == 0 {
+			continue
+		}
+		var last simtime.Time
+		done := true
+		for _, fid := range task.Flows {
+			f := res.Flows[fid]
+			if f.State != sim.FlowDone {
+				done = false
+				break
+			}
+			last = max(last, f.Finish)
+		}
+		if done {
+			tcts = append(tcts, last-task.Arrival)
+		}
+	}
+	var stats TCTStats
+	stats.Count = len(tcts)
+	if stats.Count == 0 {
+		return stats
+	}
+	sort.Slice(tcts, func(i, j int) bool { return tcts[i] < tcts[j] })
+	var sum simtime.Time
+	for _, v := range tcts {
+		sum += v
+	}
+	stats.Mean = sum / simtime.Time(len(tcts))
+	stats.P50 = percentile(tcts, 50)
+	stats.P95 = percentile(tcts, 95)
+	stats.Max = tcts[len(tcts)-1]
+	return stats
+}
+
+// percentile returns the pth percentile of a sorted slice
+// (nearest-rank method).
+func percentile(sorted []simtime.Time, p int) simtime.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Report renders link utilization and FCT stats as text.
+func Report(g *topology.Graph, res *sim.Result, topN int) (string, error) {
+	links, err := Bottlenecks(g, res, topN)
+	if err != nil {
+		return "", err
+	}
+	fct := FCT(res)
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s run: %d flows, %d events, %s ms simulated\n",
+		res.Scheduler, len(res.Flows), res.Events, msStr(res.EndTime))
+	fmt.Fprintf(&b, "FCT: n=%d mean=%sms p50=%sms p95=%sms p99=%sms max=%sms; on-time=%d (mean margin %sms)\n",
+		fct.Count, msStr(fct.Mean), msStr(fct.P50), msStr(fct.P95), msStr(fct.P99),
+		msStr(fct.Max), fct.OnTimeCount, msStr(fct.MeanOnTimeMargin))
+	fmt.Fprintf(&b, "%-28s %-12s %-12s %-8s\n", "link", "bytes", "busy_ms", "util")
+	for _, l := range links {
+		fmt.Fprintf(&b, "%-28s %-12.0f %-12s %-8.3f\n", l.Name, l.Bytes, msStr(l.Busy), l.Utilization)
+	}
+	return b.String(), nil
+}
+
+func msStr(t simtime.Time) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", simtime.ToMillis(t)), "0"), ".")
+}

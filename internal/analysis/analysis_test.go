@@ -1,0 +1,192 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"taps/internal/analysis"
+	"taps/internal/core"
+	"taps/internal/sched/baraat"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func baraatSched() sim.Scheduler    { return baraat.New() }
+func fairshareSched() sim.Scheduler { return fairshare.New() }
+
+func recordedRun(t *testing.T) (*topology.Graph, *sim.Result) {
+	t.Helper()
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 2000},
+			{Src: a, Dst: b, Size: 1000},
+		}},
+	}
+	eng := sim.New(g, topology.NewBFSRouting(g), core.New(core.DefaultConfig()), specs,
+		sim.Config{Validate: true, RecordSegments: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestLinkUtilization(t *testing.T) {
+	g, res := recordedRun(t)
+	stats, err := analysis.LinkUtilization(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two links carry traffic: a->s and s->b.
+	if len(stats) != 2 {
+		t.Fatalf("links = %d", len(stats))
+	}
+	for _, l := range stats {
+		if l.Bytes < 2999 || l.Bytes > 3001 {
+			t.Fatalf("%s bytes = %g", l.Name, l.Bytes)
+		}
+		// Serialized 3 ms of work on a run that ends at 3 ms.
+		if l.Busy != 3*simtime.Millisecond {
+			t.Fatalf("%s busy = %d", l.Name, l.Busy)
+		}
+		if l.Utilization < 0.99 || l.Utilization > 1.01 {
+			t.Fatalf("%s util = %g", l.Name, l.Utilization)
+		}
+	}
+}
+
+func TestLinkUtilizationRequiresSegments(t *testing.T) {
+	g, res := recordedRun(t)
+	res.Segments = nil
+	if _, err := analysis.LinkUtilization(g, res); err == nil {
+		t.Fatal("expected error without segments")
+	}
+}
+
+func TestBottlenecksTopN(t *testing.T) {
+	g, res := recordedRun(t)
+	stats, err := analysis.Bottlenecks(g, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("topN = %d", len(stats))
+	}
+}
+
+func TestFCT(t *testing.T) {
+	_, res := recordedRun(t)
+	fct := analysis.FCT(res)
+	if fct.Count != 2 || fct.OnTimeCount != 2 {
+		t.Fatalf("counts: %+v", fct)
+	}
+	// SJF order: 1000B finishes at 1 ms, 2000B at 3 ms.
+	if fct.P50 != 1*simtime.Millisecond || fct.Max != 3*simtime.Millisecond {
+		t.Fatalf("p50=%d max=%d", fct.P50, fct.Max)
+	}
+	if fct.Mean != 2*simtime.Millisecond {
+		t.Fatalf("mean = %d", fct.Mean)
+	}
+	// Margins: 10-1 = 9 ms and 10-3 = 7 ms -> mean 8 ms.
+	if fct.MeanOnTimeMargin != 8*simtime.Millisecond {
+		t.Fatalf("margin = %d", fct.MeanOnTimeMargin)
+	}
+}
+
+func TestFCTEmpty(t *testing.T) {
+	fct := analysis.FCT(&sim.Result{})
+	if fct.Count != 0 || fct.Mean != 0 {
+		t.Fatalf("%+v", fct)
+	}
+}
+
+func TestTCT(t *testing.T) {
+	_, res := recordedRun(t)
+	tct := analysis.TCT(res)
+	// One task of two flows, last finishing at 3 ms.
+	if tct.Count != 1 || tct.Mean != 3*simtime.Millisecond || tct.Max != 3*simtime.Millisecond {
+		t.Fatalf("%+v", tct)
+	}
+}
+
+func TestTCTExcludesKilledTasks(t *testing.T) {
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	// Infeasible task: TAPS rejects it -> flows killed -> no TCT sample.
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 50_000}}}}
+	eng := sim.New(g, topology.NewBFSRouting(g), core.New(core.DefaultConfig()), specs, sim.Config{})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tct := analysis.TCT(res); tct.Count != 0 {
+		t.Fatalf("killed task counted: %+v", tct)
+	}
+}
+
+// TestBaraatOptimizesTCT checks the Baraat baseline against its own design
+// goal: with loose deadlines, FIFO task-serial scheduling yields a lower
+// mean task completion time than fair sharing (which makes all tasks
+// finish late together).
+func TestBaraatOptimizesTCT(t *testing.T) {
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	r := topology.NewBFSRouting(g)
+	var specs []sim.TaskSpec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, sim.TaskSpec{
+			Arrival:  0,
+			Deadline: simtime.Second, // loose: everything completes
+			Flows: []sim.FlowSpec{
+				{Src: a, Dst: b, Size: 1000},
+				{Src: a, Dst: b, Size: 1000},
+			},
+		})
+	}
+	run := func(s sim.Scheduler) analysis.TCTStats {
+		eng := sim.New(g, r, s, specs, sim.Config{Validate: true})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analysis.TCT(res)
+	}
+	baraat := run(baraatSched())
+	fair := run(fairshareSched())
+	if baraat.Count != 5 || fair.Count != 5 {
+		t.Fatalf("counts: %d %d", baraat.Count, fair.Count)
+	}
+	if baraat.Mean >= fair.Mean {
+		t.Fatalf("Baraat mean TCT %d should beat fair sharing's %d", baraat.Mean, fair.Mean)
+	}
+}
+
+func TestReport(t *testing.T) {
+	g, res := recordedRun(t)
+	out, err := analysis.Report(g, res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TAPS run", "FCT:", "a->s", "util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

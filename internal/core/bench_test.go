@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"taps/internal/core"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+// BenchmarkPlanAll measures one global re-plan (the per-arrival cost of
+// the TAPS controller) at increasing in-flight flow counts on the
+// single-rooted tree (single candidate path).
+func BenchmarkPlanAll(b *testing.B) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 4, RacksPerPod: 4, HostsPerRack: 10, LinkCapacity: topology.Gbps(1),
+	})
+	cr := topology.NewCachedRouting(r)
+	hosts := g.Hosts()
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			reqs := make([]core.FlowReq, n)
+			for i := range reqs {
+				reqs[i] = core.FlowReq{
+					Key:      uint64(i),
+					Src:      hosts[i%len(hosts)],
+					Dst:      hosts[(i*7+3)%len(hosts)],
+					Bytes:    200 * 1024,
+					Deadline: simtime.Time(20+i%40) * simtime.Millisecond,
+				}
+				if reqs[i].Src == reqs[i].Dst {
+					reqs[i].Dst = hosts[(i+1)%len(hosts)]
+				}
+			}
+			p := &core.Planner{Graph: g, Routing: cr, MaxPaths: 16}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PlanAll(0, reqs, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanAllFatTree isolates the multi-path cost: same request
+// stream on a k=8 fat-tree with candidate-path caps.
+func BenchmarkPlanAllFatTree(b *testing.B) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 8, LinkCapacity: topology.Gbps(1)})
+	cr := topology.NewCachedRouting(r)
+	hosts := g.Hosts()
+	reqs := make([]core.FlowReq, 200)
+	for i := range reqs {
+		reqs[i] = core.FlowReq{
+			Key:      uint64(i),
+			Src:      hosts[i%len(hosts)],
+			Dst:      hosts[(i*11+5)%len(hosts)],
+			Bytes:    200 * 1024,
+			Deadline: simtime.Time(20+i%40) * simtime.Millisecond,
+		}
+		if reqs[i].Src == reqs[i].Dst {
+			reqs[i].Dst = hosts[(i+1)%len(hosts)]
+		}
+	}
+	for _, cap := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("paths=%d", cap), func(b *testing.B) {
+			p := &core.Planner{Graph: g, Routing: cr, MaxPaths: cap}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PlanAll(0, reqs, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkTAPSFullRun measures the whole pipeline: workload generation
+// excluded, simulation + scheduling included, with and without the
+// FastAdmission extension.
+func BenchmarkTAPSFullRun(b *testing.B) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 3, RacksPerPod: 2, HostsPerRack: 5, LinkCapacity: topology.Gbps(1),
+	})
+	cr := topology.NewCachedRouting(r)
+	specs := workload.Generate(g, workload.Spec{Tasks: 12, MeanFlowsPerTask: 20, Seed: 1})
+	for _, fast := range []bool{false, true} {
+		name := "replan-always"
+		if fast {
+			name = "fast-admission"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.FastAdmission = fast
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.New(g, cr, core.New(cfg), specs, sim.Config{})
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// FlowReq is one flow the planner must place: the remaining bytes of a new
+// or in-flight flow, its endpoints, and its absolute deadline. Key seeds
+// the candidate-path rotation so concurrent flows between the same pair
+// explore different paths.
+type FlowReq struct {
+	Key      uint64
+	Src, Dst topology.NodeID
+	Bytes    float64
+	Deadline simtime.Time
+}
+
+// PlanEntry is the planner's decision for one flow: the chosen path, the
+// pre-allocated transmission slices on it, and the resulting finish time.
+type PlanEntry struct {
+	Path   topology.Path
+	Slices simtime.IntervalSet
+	Finish simtime.Time
+}
+
+// Planner implements Alg. 2 (PathCalculation) and Alg. 3 (TimeAllocation)
+// over a topology, independent of any simulation engine: the flow-level
+// simulator and the SDN testbed controller both drive it.
+type Planner struct {
+	Graph    *topology.Graph
+	Routing  topology.Routing
+	MaxPaths int
+}
+
+// hostCapacity estimates the line rate available to a flow before a path
+// is chosen: the capacity of the source host's uplink.
+func (p *Planner) hostCapacity(src topology.NodeID) float64 {
+	if out := p.Graph.Out(src); len(out) > 0 {
+		return p.Graph.Link(out[0]).Capacity
+	}
+	return 0
+}
+
+// PlanAll places every request, in the given order, into the earliest idle
+// time slices of its best candidate path (first-fit in priority order —
+// the caller sorts by EDF+SJF per Alg. 1). It returns one entry per
+// request, aligned by index; entries whose Finish exceeds the request
+// deadline (or is simtime.Infinity for unroutable flows) are misses.
+//
+// occ, if non-nil, seeds per-link occupancy (slices already promised to
+// flows outside reqs); PlanAll mutates it. Pass nil to start empty.
+func (p *Planner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topology.LinkID]simtime.IntervalSet) []PlanEntry {
+	if occ == nil {
+		occ = make(map[topology.LinkID]simtime.IntervalSet)
+	}
+	// Window end: beyond maxDeadline + serialized total work every flow
+	// finds idle slices, so TakeFirst cannot fail inside the window.
+	var sumE simtime.Time
+	maxDeadline := now
+	for _, r := range reqs {
+		if c := p.hostCapacity(r.Src); c > 0 {
+			sumE += durationFor(r.Bytes, c)
+		}
+		maxDeadline = max(maxDeadline, r.Deadline)
+	}
+	for _, set := range occ {
+		if ivs := set.Intervals(); len(ivs) > 0 {
+			maxDeadline = max(maxDeadline, ivs[len(ivs)-1].End)
+		}
+	}
+	window := simtime.Interval{Start: now, End: maxDeadline + sumE + 1}
+
+	entries := make([]PlanEntry, len(reqs))
+	for i, r := range reqs {
+		entries[i] = p.planOne(now, r, window, occ)
+	}
+	return entries
+}
+
+// planOne runs Alg. 2 lines 2-14 for a single flow and commits its slices
+// to occ.
+func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, occ map[topology.LinkID]simtime.IntervalSet) PlanEntry {
+	best := PlanEntry{Finish: simtime.Infinity}
+	if r.Src == r.Dst || r.Bytes <= 0 {
+		best.Finish = now
+		return best
+	}
+	for _, path := range p.Routing.Paths(r.Src, r.Dst, p.MaxPaths, r.Key) {
+		if len(path) == 0 {
+			continue
+		}
+		e := durationFor(r.Bytes, p.Graph.MinCapacity(path))
+		// Alg. 3: Tocp = union of the links' occupied sets; idle =
+		// complement; take the first E units.
+		var occupied simtime.IntervalSet
+		for _, l := range path {
+			set := occ[l]
+			occupied.UnionInPlace(&set)
+		}
+		idle := occupied.ComplementWithin(window)
+		taken, finish, ok := idle.TakeFirst(now, e)
+		if !ok {
+			continue
+		}
+		if finish < best.Finish {
+			best = PlanEntry{Path: path, Slices: taken, Finish: finish}
+		}
+	}
+	if best.Path != nil {
+		for _, l := range best.Path {
+			set := occ[l]
+			set.UnionInPlace(&best.Slices)
+			occ[l] = set
+		}
+	}
+	return best
+}
+
+// durationFor mirrors sim.DurationFor without importing sim (core must stay
+// importable from both the simulator and the SDN control plane).
+func durationFor(bytes, rate float64) simtime.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		return simtime.Infinity
+	}
+	us := bytes * 1e6 / rate
+	d := simtime.Time(us)
+	if float64(d) < us {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

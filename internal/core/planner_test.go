@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taps/internal/core"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func fatTree4() (*topology.Graph, topology.Routing) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 4, LinkCapacity: 1e6})
+	return g, topology.NewCachedRouting(r)
+}
+
+func randReqs(rng *rand.Rand, hosts []topology.NodeID, n int) []core.FlowReq {
+	reqs := make([]core.FlowReq, n)
+	for i := range reqs {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		reqs[i] = core.FlowReq{
+			Key:      uint64(i),
+			Src:      src,
+			Dst:      dst,
+			Bytes:    float64(1 + rng.Intn(5000)),
+			Deadline: simtime.Time(1+rng.Intn(50)) * simtime.Millisecond,
+		}
+	}
+	return reqs
+}
+
+// TestPropPlanSlicesDisjointPerLink: the central planner invariant — no
+// two flows' slices overlap on any shared link, ever.
+func TestPropPlanSlicesDisjointPerLink(t *testing.T) {
+	g, r := fatTree4()
+	hosts := g.Hosts()
+	p := &core.Planner{Graph: g, Routing: r, MaxPaths: 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := randReqs(rng, hosts, 1+rng.Intn(25))
+		now := simtime.Time(rng.Intn(1000))
+		entries := p.PlanAll(now, reqs, nil)
+		perLink := make(map[topology.LinkID]simtime.IntervalSet)
+		for _, e := range entries {
+			if e.Path == nil {
+				continue
+			}
+			for _, l := range e.Path {
+				set := perLink[l]
+				if !simtime.Intersect(set, e.Slices).Empty() {
+					return false
+				}
+				set.UnionInPlace(&e.Slices)
+				perLink[l] = set
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPlanSlicesCoverRequest: every planned flow gets exactly the time
+// its bytes need at the path's line rate, starting at or after now.
+func TestPropPlanSlicesCoverRequest(t *testing.T) {
+	g, r := fatTree4()
+	hosts := g.Hosts()
+	p := &core.Planner{Graph: g, Routing: r, MaxPaths: 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := randReqs(rng, hosts, 1+rng.Intn(20))
+		now := simtime.Time(rng.Intn(500))
+		entries := p.PlanAll(now, reqs, nil)
+		for i, e := range entries {
+			if e.Path == nil {
+				return false // a fat-tree always offers a path
+			}
+			capac := g.MinCapacity(e.Path)
+			needUs := reqs[i].Bytes * 1e6 / capac
+			total := e.Slices.Total()
+			// Ceil rounding grants at most one extra microsecond.
+			if float64(total) < needUs-1e-9 || float64(total) > needUs+1 {
+				return false
+			}
+			for _, iv := range e.Slices.Intervals() {
+				if iv.Start < now {
+					return false
+				}
+			}
+			if ivs := e.Slices.Intervals(); len(ivs) > 0 && ivs[len(ivs)-1].End != e.Finish {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanRespectsSeedOccupancy: pre-seeded occupancy (FastAdmission's
+// incremental path) is never double-booked.
+func TestPlanRespectsSeedOccupancy(t *testing.T) {
+	g, r := fatTree4()
+	hosts := g.Hosts()
+	p := &core.Planner{Graph: g, Routing: r, MaxPaths: 1}
+	// Occupy [0, 5ms) on the flow's only candidate path.
+	req := core.FlowReq{Key: 1, Src: hosts[0], Dst: hosts[1], Bytes: 1000,
+		Deadline: 50 * simtime.Millisecond}
+	path := r.Paths(req.Src, req.Dst, 1, 1)[0]
+	occ := make(map[topology.LinkID]simtime.IntervalSet)
+	busy := simtime.NewIntervalSet(simtime.Interval{Start: 0, End: 5 * simtime.Millisecond})
+	for _, l := range path {
+		occ[l] = busy.Clone()
+	}
+	entries := p.PlanAll(0, []core.FlowReq{req}, occ)
+	e := entries[0]
+	if e.Path == nil {
+		t.Fatal("no plan")
+	}
+	for _, iv := range e.Slices.Intervals() {
+		if iv.Start < 5*simtime.Millisecond {
+			t.Fatalf("slice %v inside seeded occupancy", iv)
+		}
+	}
+	if e.Finish != 6*simtime.Millisecond {
+		t.Fatalf("finish = %d, want 6 ms", e.Finish)
+	}
+}
+
+func TestPlannerZeroByteAndSelfFlows(t *testing.T) {
+	g, r := fatTree4()
+	hosts := g.Hosts()
+	p := &core.Planner{Graph: g, Routing: r, MaxPaths: 4}
+	reqs := []core.FlowReq{
+		{Key: 1, Src: hosts[0], Dst: hosts[0], Bytes: 100, Deadline: 1000},
+		{Key: 2, Src: hosts[0], Dst: hosts[1], Bytes: 0, Deadline: 1000},
+	}
+	entries := p.PlanAll(7, reqs, nil)
+	for i, e := range entries {
+		if e.Finish != 7 {
+			t.Fatalf("entry %d finish = %d, want now", i, e.Finish)
+		}
+		if !e.Slices.Empty() {
+			t.Fatalf("entry %d has slices", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+// Decision is the outcome of the §IV-B reject rule for a newly offered
+// task.
+type Decision uint8
+
+// Reject-rule outcomes.
+const (
+	// Accept admits the new task; nobody is harmed.
+	Accept Decision = iota
+	// RejectNew discards the new task: its own flows would miss, more
+	// than one task would miss, or the single victim has made at least
+	// as much progress as the newcomer.
+	RejectNew
+	// Preempt discards one already-admitted task (the returned victim)
+	// in favor of the newcomer, because the victim has delivered a
+	// strictly smaller fraction of its bytes.
+	Preempt
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case RejectNew:
+		return "reject"
+	case Preempt:
+		return "preempt"
+	}
+	return "decision(?)"
+}
+
+// EvaluateRejectRule applies §IV-B given the set of tasks whose flows miss
+// their deadlines in the tentative plan that includes the new task.
+// fraction reports a task's byte-completion fraction; noPreemption forces
+// RejectNew where Preempt would apply. The generic task key lets the
+// simulator scheduler, the SDN testbed, and the networked controller share
+// one implementation.
+func EvaluateRejectRule[T comparable](missed map[T]bool, newTask T, fraction func(T) float64, noPreemption bool) (Decision, T) {
+	var zero T
+	if len(missed) == 0 {
+		return Accept, zero
+	}
+	// Rule 2: flows of the new task itself would miss.
+	if missed[newTask] {
+		return RejectNew, zero
+	}
+	// Rule 1: flows of more than one task would miss.
+	if len(missed) > 1 {
+		return RejectNew, zero
+	}
+	// Rule 3: exactly one other task misses; the lower completion
+	// fraction loses (ties keep the incumbent).
+	var victim T
+	for t := range missed {
+		victim = t
+	}
+	if noPreemption || fraction(victim) >= fraction(newTask) {
+		return RejectNew, zero
+	}
+	return Preempt, victim
+}

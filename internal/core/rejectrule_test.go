@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"taps/internal/core"
+)
+
+func TestEvaluateRejectRuleTable(t *testing.T) {
+	fractions := map[int]float64{1: 0.5, 2: 0.0, 3: 0.2, 9: 0.0}
+	frac := func(id int) float64 { return fractions[id] }
+	cases := []struct {
+		name         string
+		missed       []int
+		newTask      int
+		noPreemption bool
+		want         core.Decision
+		victim       int
+	}{
+		{"no misses", nil, 9, false, core.Accept, 0},
+		{"new task misses", []int{9}, 9, false, core.RejectNew, 0},
+		{"new among several", []int{9, 1}, 9, false, core.RejectNew, 0},
+		{"two others miss", []int{1, 3}, 9, false, core.RejectNew, 0},
+		{"victim has progress", []int{1}, 9, false, core.RejectNew, 0},
+		{"victim equal progress", []int{2}, 9, false, core.RejectNew, 0},
+		{"victim behind newcomer", []int{2}, 1, false, core.Preempt, 2},
+		{"preemption disabled", []int{2}, 1, true, core.RejectNew, 0},
+	}
+	for _, c := range cases {
+		missed := map[int]bool{}
+		for _, id := range c.missed {
+			missed[id] = true
+		}
+		got, victim := core.EvaluateRejectRule(missed, c.newTask, frac, c.noPreemption)
+		if got != c.want {
+			t.Errorf("%s: decision = %v, want %v", c.name, got, c.want)
+		}
+		if got == core.Preempt && victim != c.victim {
+			t.Errorf("%s: victim = %d, want %d", c.name, victim, c.victim)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[core.Decision]string{
+		core.Accept: "accept", core.RejectNew: "reject", core.Preempt: "preempt",
+	} {
+		if d.String() != want {
+			t.Errorf("%v", d)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package core implements TAPS, the paper's contribution: task-level
+// deadline-aware preemptive flow scheduling (§IV).
+//
+// TAPS runs as a centralized planner (the SDN controller). On every task
+// arrival it re-plans all in-flight flows from scratch: flows are ordered
+// by EDF with SJF tie-break (Alg. 1), each flow is assigned the candidate
+// routing path on which it finishes earliest (Alg. 2, PathCalculation), and
+// its transmission is pre-allocated into the earliest idle time slices of
+// that path's links (Alg. 3, TimeAllocation). Links carry at most one flow
+// at a time, at full line rate.
+//
+// The reject rule (§IV-B) then decides the new task's fate: if the
+// tentative plan misses no deadline the task is accepted; if flows of the
+// new task itself, or of more than one task, would miss, the new task is
+// discarded; if exactly one *other* task would miss, the task with the
+// smaller byte-completion fraction is discarded — which is how TAPS
+// preempts an admitted task in favor of a more promising newcomer.
+package core
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Ordering selects the priority discipline used to sort flows before
+// allocation. The paper uses EDF+SJF; the others exist for ablations.
+type Ordering uint8
+
+// Orderings for Config.Ordering.
+const (
+	OrderEDFSJF Ordering = iota // paper default
+	OrderEDF
+	OrderSJF
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderEDFSJF:
+		return "edf+sjf"
+	case OrderEDF:
+		return "edf"
+	case OrderSJF:
+		return "sjf"
+	}
+	return "ordering(?)"
+}
+
+// Config tunes the TAPS planner.
+type Config struct {
+	// MaxPaths caps the candidate path set per flow (Alg. 2 line 3);
+	// 0 enumerates all equal-cost paths. The default used by the
+	// experiments is 16 (see DESIGN.md: path-explosion substitution).
+	MaxPaths int
+	// Ordering is the flow priority discipline (default EDF+SJF).
+	Ordering Ordering
+	// DisableRejectRule admits every task unconditionally (ablation).
+	DisableRejectRule bool
+	// NoPreemption never discards an already-admitted task: when the
+	// tentative plan sacrifices an existing task, the newcomer is
+	// rejected instead (Varys-like behaviour; ablation).
+	NoPreemption bool
+	// FastAdmission enables an incremental admission fast path: a new
+	// task is first planned append-only into the idle time left by the
+	// existing (untouched) plan; only when that fails does the
+	// controller fall back to Alg. 1's full global re-plan. This cuts
+	// the per-arrival cost from O(all flows) to O(new flows) in the
+	// common case. It is an extension beyond the paper: accepted sets
+	// can differ slightly from the always-replan baseline, because the
+	// full re-plan may rearrange earlier flows where the fast path just
+	// appends (see the ablation benchmarks).
+	FastAdmission bool
+	// BatchWindow is Alg. 1's "wait time T": a newly arrived task is
+	// held for up to this long so that tasks arriving close together are
+	// decided in one planning pass (fewer global re-plans). Zero decides
+	// every task immediately, which is what the evaluation uses — in the
+	// simulated workloads all flows of a task arrive together, so T only
+	// matters across tasks.
+	BatchWindow simtime.Time
+}
+
+// DefaultConfig is the configuration used throughout the paper's
+// experiments.
+func DefaultConfig() Config { return Config{MaxPaths: 16} }
+
+// Scheduler is the TAPS planner; it implements sim.Scheduler.
+// Use New — the zero value is not usable.
+type Scheduler struct {
+	cfg     Config
+	planner *Planner // created lazily from the first arrival's state
+
+	// plan state, rebuilt on every task arrival
+	slices map[sim.FlowID]simtime.IntervalSet
+	occ    map[topology.LinkID]simtime.IntervalSet
+
+	discarded map[sim.TaskID]bool
+
+	// Alg. 1 batching: tasks waiting for the window to close.
+	pending []sim.TaskID
+	flushAt simtime.Time
+
+	// stats
+	replans    int
+	fastAdmits int
+}
+
+// New returns a TAPS scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:       cfg,
+		slices:    make(map[sim.FlowID]simtime.IntervalSet),
+		occ:       make(map[topology.LinkID]simtime.IntervalSet),
+		discarded: make(map[sim.TaskID]bool),
+	}
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "TAPS" }
+
+// Replans returns how many global re-plans the controller executed.
+func (s *Scheduler) Replans() int { return s.replans }
+
+// FastAdmits returns how many tasks the FastAdmission fast path accepted
+// without a global re-plan.
+func (s *Scheduler) FastAdmits() int { return s.fastAdmits }
+
+// Slices returns the planned transmission slices of a flow (for tests and
+// the SDN control plane, which ships them to senders).
+func (s *Scheduler) Slices(id sim.FlowID) simtime.IntervalSet { return s.slices[id] }
+
+func (s *Scheduler) less(a, b *sim.Flow) bool {
+	switch s.cfg.Ordering {
+	case OrderEDF:
+		return sched.EDFLess(a, b)
+	case OrderSJF:
+		return sched.SJFLess(a, b)
+	default:
+		return sched.EDFSJFLess(a, b)
+	}
+}
+
+// allocation is the tentative outcome of one PathCalculation pass.
+type allocation struct {
+	slices map[sim.FlowID]simtime.IntervalSet
+	paths  map[sim.FlowID]topology.Path
+	occ    map[topology.LinkID]simtime.IntervalSet
+	finish map[sim.FlowID]simtime.Time
+	missed []*sim.Flow // flows whose planned finish exceeds their deadline
+}
+
+// planAll runs Alg. 2 (via the Planner) over the given flows, already
+// sorted by priority, and classifies misses.
+func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
+	if s.planner == nil {
+		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(), MaxPaths: s.cfg.MaxPaths}
+	}
+	reqs := make([]FlowReq, len(flows))
+	for i, f := range flows {
+		reqs[i] = FlowReq{
+			Key:      uint64(f.ID),
+			Src:      f.Src,
+			Dst:      f.Dst,
+			Bytes:    f.Remaining(),
+			Deadline: f.Deadline,
+		}
+	}
+	occ := make(map[topology.LinkID]simtime.IntervalSet)
+	entries := s.planner.PlanAll(st.Now(), reqs, occ)
+	a := &allocation{
+		slices: make(map[sim.FlowID]simtime.IntervalSet, len(flows)),
+		paths:  make(map[sim.FlowID]topology.Path, len(flows)),
+		occ:    occ,
+		finish: make(map[sim.FlowID]simtime.Time, len(flows)),
+	}
+	for i, f := range flows {
+		e := entries[i]
+		a.finish[f.ID] = e.Finish
+		if e.Path == nil {
+			// Unroutable (or zero-byte, which never reaches here for
+			// active flows): the reject rule treats it as a miss.
+			a.missed = append(a.missed, f)
+			continue
+		}
+		a.paths[f.ID] = e.Path
+		a.slices[f.ID] = e.Slices
+		if e.Finish > f.Deadline {
+			a.missed = append(a.missed, f)
+		}
+	}
+	return a
+}
+
+// OnTaskArrival implements Alg. 1. With a BatchWindow the task is parked
+// until the window closes (the "wait time T" of Alg. 1 line 7); otherwise
+// it is decided immediately: sort all in-flight flows plus the new task's
+// flows, tentatively plan everything, then apply the reject rule.
+func (s *Scheduler) OnTaskArrival(st *sim.State, task *sim.Task) {
+	if s.cfg.BatchWindow > 0 {
+		if len(s.pending) == 0 {
+			s.flushAt = st.Now() + s.cfg.BatchWindow
+		}
+		s.pending = append(s.pending, task.ID)
+		return
+	}
+	s.decide(st, task)
+}
+
+// flushPending decides every batched task, in arrival order, sharing the
+// replans that each decision triggers.
+func (s *Scheduler) flushPending(st *sim.State) {
+	pending := s.pending
+	s.pending = nil
+	for _, id := range pending {
+		s.decide(st, st.Task(id))
+	}
+}
+
+// decide runs one task through planning and the reject rule.
+func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
+	if s.discarded[task.ID] {
+		st.KillTask(task.ID, "taps: previously discarded")
+		return
+	}
+	if s.cfg.FastAdmission && s.admitIncrementally(st, task) {
+		return
+	}
+	flows := st.ActiveFlows() // includes the new task's flows
+	sched.SortFlows(flows, s.less)
+	s.replans++
+	plan := s.planAll(st, flows)
+
+	if !s.cfg.DisableRejectRule {
+		victim, ok := s.applyRejectRule(st, task, plan)
+		if !ok {
+			// The new task is discarded; re-plan without it.
+			s.discardTask(st, task.ID)
+			plan = s.replanActive(st)
+		} else if victim >= 0 {
+			// An existing task is preempted in favor of the newcomer.
+			s.discardTask(st, victim)
+			plan = s.replanActive(st)
+		}
+	}
+	s.commit(st, plan)
+}
+
+// admitIncrementally tries the FastAdmission append-only path: plan just
+// the new task's flows into the current occupancy. On success the existing
+// plan stays untouched and the new slices are committed; on any miss it
+// reports false and the caller falls back to the full re-plan.
+func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
+	if s.planner == nil {
+		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(), MaxPaths: s.cfg.MaxPaths}
+	}
+	var flows []*sim.Flow
+	for _, fid := range task.Flows {
+		f := st.Flow(fid)
+		if f.State == sim.FlowActive {
+			flows = append(flows, f)
+		}
+	}
+	sched.SortFlows(flows, s.less)
+	reqs := make([]FlowReq, len(flows))
+	for i, f := range flows {
+		reqs[i] = FlowReq{Key: uint64(f.ID), Src: f.Src, Dst: f.Dst,
+			Bytes: f.Remaining(), Deadline: f.Deadline}
+	}
+	// Work on a copy of the occupancy so a failed attempt is free of
+	// side effects.
+	occ := make(map[topology.LinkID]simtime.IntervalSet, len(s.occ))
+	for l, set := range s.occ {
+		occ[l] = set.Clone()
+	}
+	entries := s.planner.PlanAll(st.Now(), reqs, occ)
+	for i, e := range entries {
+		if e.Path == nil || e.Finish > reqs[i].Deadline {
+			return false
+		}
+	}
+	s.fastAdmits++
+	for i, f := range flows {
+		f.Path = entries[i].Path
+		s.slices[f.ID] = entries[i].Slices
+	}
+	s.occ = occ
+	return true
+}
+
+// applyRejectRule evaluates §IV-B. It returns (victim, accepted):
+// accepted=false means the new task must be discarded; victim >= 0 names an
+// existing task to preempt.
+func (s *Scheduler) applyRejectRule(st *sim.State, task *sim.Task, plan *allocation) (sim.TaskID, bool) {
+	missTasks := make(map[sim.TaskID]bool)
+	for _, f := range plan.missed {
+		missTasks[f.Task] = true
+	}
+	d, victim := EvaluateRejectRule(missTasks, task.ID,
+		st.TaskCompletionFraction, s.cfg.NoPreemption)
+	switch d {
+	case RejectNew:
+		return -1, false
+	case Preempt:
+		return victim, true
+	}
+	return -1, true
+}
+
+// discardTask kills a task's flows and remembers the decision.
+func (s *Scheduler) discardTask(st *sim.State, id sim.TaskID) {
+	s.discarded[id] = true
+	st.KillTask(id, "taps: task discarded by reject rule")
+}
+
+// replanActive re-runs PathCalculation over the surviving active flows.
+func (s *Scheduler) replanActive(st *sim.State) *allocation {
+	flows := st.ActiveFlows()
+	sched.SortFlows(flows, s.less)
+	s.replans++
+	return s.planAll(st, flows)
+}
+
+// commit installs a tentative plan as the controller state: per-flow
+// slices and routes, per-link occupancy.
+func (s *Scheduler) commit(st *sim.State, plan *allocation) {
+	s.slices = plan.slices
+	s.occ = plan.occ
+	for id, p := range plan.paths {
+		st.Flow(id).Path = p
+	}
+}
+
+// OnFlowFinished implements sim.Scheduler (plan already accounts for it).
+func (s *Scheduler) OnFlowFinished(st *sim.State, f *sim.Flow) {}
+
+// OnDeadlineMissed kills a flow the plan failed to protect. With the
+// reject rule enabled this only happens for flows of tasks the rule chose
+// to sacrifice mid-flight; with it disabled (ablation) it is the norm.
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	st.KillFlow(f, "taps: deadline missed")
+}
+
+// OnLinkDown re-plans every surviving flow: the engine's routing now
+// excludes the dead link, so the planner routes around it, re-packing
+// slices onto the remaining capacity.
+func (s *Scheduler) OnLinkDown(st *sim.State, link topology.LinkID) {
+	s.commit(st, s.replanActive(st))
+}
+
+// Rates implements sim.Scheduler: a flow transmits at line rate during its
+// pre-allocated slices and is silent otherwise. The horizon is the next
+// slice boundary of any active flow.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	now := st.Now()
+	if len(s.pending) > 0 && now >= s.flushAt {
+		s.flushPending(st)
+	}
+	rates := make(sim.RateMap)
+	horizon := simtime.Infinity
+	if len(s.pending) > 0 {
+		horizon = s.flushAt
+	}
+	for _, f := range st.ActiveFlows() {
+		sl, ok := s.slices[f.ID]
+		if !ok {
+			continue
+		}
+		if sl.Contains(now) {
+			rates[f.ID] = st.Graph().MinCapacity(f.Path)
+		}
+		if b := sl.NextBoundaryAfter(now); b < horizon {
+			horizon = b
+		}
+	}
+	return rates, horizon
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taps/internal/core"
+	"taps/internal/metrics"
+	"taps/internal/opt"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+// AblationResult is one TAPS variant's outcome on the ablation workload.
+type AblationResult struct {
+	Variant string
+	Summary metrics.Summary
+}
+
+// ablationWorkload is the Fig. 6 default point (40 ms mean deadline) at
+// the given scale.
+func ablationWorkload(scale Scale, g *topology.Graph) []sim.TaskSpec {
+	return workload.Generate(g, workload.Spec{
+		Tasks:            scale.Tasks,
+		MeanFlowsPerTask: scale.FlowsPerTask,
+		ArrivalRate:      scale.ArrivalRate,
+		Seed:             scale.Seed,
+	})
+}
+
+func runVariant(g *topology.Graph, r topology.Routing, variant string, cfg core.Config, specs []sim.TaskSpec) (AblationResult, error) {
+	eng := sim.New(g, r, core.New(cfg), specs, sim.Config{MaxTime: simtime.Time(4e12)})
+	res, err := eng.Run()
+	if err != nil {
+		return AblationResult{}, fmt.Errorf("%s: %w", variant, err)
+	}
+	return AblationResult{Variant: variant, Summary: metrics.Summarize(res)}, nil
+}
+
+// AblationRejectRule isolates the §IV-B admission control: full TAPS vs
+// accept-everything.
+func AblationRejectRule(scale Scale) ([]AblationResult, error) {
+	g, r := topology.SingleRootedTree(scale.Tree)
+	cr := topology.NewCachedRouting(r)
+	specs := ablationWorkload(scale, g)
+	var out []AblationResult
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"taps", core.DefaultConfig()},
+		{"no-reject-rule", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableRejectRule = true
+			return c
+		}()},
+	} {
+		res, err := runVariant(g, cr, v.name, v.cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationPreemption isolates task preemption: full TAPS vs a variant that
+// never discards an admitted task.
+func AblationPreemption(scale Scale) ([]AblationResult, error) {
+	g, r := topology.SingleRootedTree(scale.Tree)
+	cr := topology.NewCachedRouting(r)
+	specs := ablationWorkload(scale, g)
+	var out []AblationResult
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"taps", core.DefaultConfig()},
+		{"no-preemption", func() core.Config {
+			c := core.DefaultConfig()
+			c.NoPreemption = true
+			return c
+		}()},
+	} {
+		res, err := runVariant(g, cr, v.name, v.cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationPathCap sweeps the candidate-path cap on the fat-tree (§IV's
+// multi-path routing contribution and its planning cost).
+func AblationPathCap(scale Scale, caps []int) ([]AblationResult, error) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: scale.FatTreeK, LinkCapacity: topology.Gbps(1)})
+	cr := topology.NewCachedRouting(r)
+	specs := workload.Generate(g, workload.Spec{
+		Tasks:            scale.Tasks,
+		MeanFlowsPerTask: scale.FatFlowsPerTask,
+		ArrivalRate:      scale.ArrivalRate,
+		Seed:             scale.Seed,
+	})
+	var out []AblationResult
+	for _, cap := range caps {
+		cfg := core.DefaultConfig()
+		cfg.MaxPaths = cap
+		res, err := runVariant(g, cr, fmt.Sprintf("paths=%d", cap), cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationOrdering compares the EDF+SJF priority discipline against
+// EDF-only and SJF-only.
+func AblationOrdering(scale Scale) ([]AblationResult, error) {
+	g, r := topology.SingleRootedTree(scale.Tree)
+	cr := topology.NewCachedRouting(r)
+	specs := ablationWorkload(scale, g)
+	var out []AblationResult
+	for _, ord := range []core.Ordering{core.OrderEDFSJF, core.OrderEDF, core.OrderSJF} {
+		cfg := core.DefaultConfig()
+		cfg.Ordering = ord
+		res, err := runVariant(g, cr, ord.String(), cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// OptimalComparison is the outcome of AblationVsOptimal.
+type OptimalComparison struct {
+	Trials    int
+	TAPSTotal int // tasks TAPS completed across all trials
+	OptTotal  int // exact optima summed across all trials
+}
+
+// Ratio returns TAPS's fraction of optimal task completions.
+func (o OptimalComparison) Ratio() float64 {
+	if o.OptTotal == 0 {
+		return 1
+	}
+	return float64(o.TAPSTotal) / float64(o.OptTotal)
+}
+
+// AblationVsOptimal measures TAPS against the exact optimum (internal/opt)
+// on random single-bottleneck instances: the near-optimality claim of §I.
+func AblationVsOptimal(trials int, seed int64) (OptimalComparison, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	r := topology.NewBFSRouting(g)
+
+	cmp := OptimalComparison{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(5)
+		tasks := make([]opt.Task, n)
+		var specs []sim.TaskSpec
+		for i := range tasks {
+			d := simtime.Time(3 + rng.Intn(12))
+			m := 1 + rng.Intn(3)
+			spec := sim.TaskSpec{Arrival: 0, Deadline: d * simtime.Millisecond}
+			for j := 0; j < m; j++ {
+				w := simtime.Time(1 + rng.Intn(4))
+				tasks[i] = append(tasks[i], opt.Job{Deadline: d, Work: w})
+				spec.Flows = append(spec.Flows, sim.FlowSpec{Src: a, Dst: b, Size: w * 1000})
+			}
+			specs = append(specs, spec)
+		}
+		best, _ := opt.MaxTasks(tasks)
+		cmp.OptTotal += best
+
+		eng := sim.New(g, r, core.New(core.DefaultConfig()), specs, sim.Config{MaxTime: simtime.Time(1e12)})
+		res, err := eng.Run()
+		if err != nil {
+			return cmp, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		for _, task := range res.Tasks {
+			if task.Completed(res.Flows) {
+				cmp.TAPSTotal++
+			}
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import "testing"
+
+func TestAblationRejectRule(t *testing.T) {
+	res, err := AblationRejectRule(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	full, none := res[0].Summary, res[1].Summary
+	// Admission control's value: without it TAPS wastes bandwidth on
+	// doomed tasks; with it, waste is (near) zero.
+	if full.WastedBandwidthRatio() > none.WastedBandwidthRatio()+1e-9 {
+		t.Fatalf("reject rule should not increase waste: %g vs %g",
+			full.WastedBandwidthRatio(), none.WastedBandwidthRatio())
+	}
+}
+
+func TestAblationPreemption(t *testing.T) {
+	res, err := AblationPreemption(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Variant != "taps" || res[1].Variant != "no-preemption" {
+		t.Fatalf("unexpected variants: %+v", res)
+	}
+}
+
+func TestAblationPathCap(t *testing.T) {
+	res, err := AblationPathCap(BenchScale(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	// More candidate paths can only help the planner (weak check: not
+	// drastically worse).
+	one, four := res[0].Summary.TaskCompletionRatio(), res[1].Summary.TaskCompletionRatio()
+	if four+0.2 < one {
+		t.Fatalf("paths=4 (%.3f) much worse than paths=1 (%.3f)", four, one)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	res, err := AblationOrdering(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	names := map[string]bool{}
+	for _, r := range res {
+		names[r.Variant] = true
+	}
+	for _, want := range []string{"edf+sjf", "edf", "sjf"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+}
+
+func TestAblationVsOptimal(t *testing.T) {
+	cmp, err := AblationVsOptimal(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TAPSTotal > cmp.OptTotal {
+		t.Fatalf("TAPS %d beats the exact optimum %d", cmp.TAPSTotal, cmp.OptTotal)
+	}
+	if cmp.Ratio() < 0.8 {
+		t.Fatalf("TAPS reaches only %.2f of optimal on small instances", cmp.Ratio())
+	}
+}
+
+func TestExtMix(t *testing.T) {
+	res, err := ExtMix(BenchScale(), []string{"FairSharing", "TAPS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("schedulers = %d", len(res.PerClass))
+	}
+	totalClasses := 0
+	for _, byClass := range res.PerClass {
+		for _, c := range byClass {
+			if c[0] > c[1] {
+				t.Fatalf("completed %d > total %d", c[0], c[1])
+			}
+			totalClasses++
+		}
+	}
+	if totalClasses == 0 {
+		t.Fatal("no classes recorded")
+	}
+	table := res.Table([]string{"FairSharing", "TAPS"})
+	if len(table) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig14Deterministic(t *testing.T) {
+	spec := StressTestbedSpec()
+	spec.Tasks = 8
+	a, err := Fig14(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig14(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TAPS.TasksCompleted != b.TAPS.TasksCompleted ||
+		a.FairSharing.FlowsOnTime != b.FairSharing.FlowsOnTime ||
+		a.TAPS.ControlMessages != b.TAPS.ControlMessages {
+		t.Fatal("testbed emulation is not deterministic")
+	}
+	if len(a.Series) != 2 {
+		t.Fatalf("series = %d", len(a.Series))
+	}
+}
+
+func TestFig14TAPSBeatsFairSharing(t *testing.T) {
+	res, err := Fig14(StressTestbedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TAPS.TasksCompleted <= res.FairSharing.TasksCompleted {
+		t.Fatalf("Fig. 14 headline: TAPS %d tasks <= FairSharing %d",
+			res.TAPS.TasksCompleted, res.FairSharing.TasksCompleted)
+	}
+	if res.TAPS.WastedBytes >= res.FairSharing.WastedBytes {
+		t.Fatalf("TAPS wasted %g >= FairSharing %g",
+			res.TAPS.WastedBytes, res.FairSharing.WastedBytes)
+	}
+}
+
+func TestExtControlOverhead(t *testing.T) {
+	points, err := ExtControlOverhead([]int{4, 8, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Flows == 0 || p.ControlMessages == 0 {
+			t.Fatalf("point %d empty: %+v", i, p)
+		}
+		// Per flow: 1 probe share + grants + 1 TERM; broadcast grants per
+		// admission keep this small but > 1.
+		if p.MsgsPerFlow < 1 || p.MsgsPerFlow > 50 {
+			t.Fatalf("msgs/flow = %g", p.MsgsPerFlow)
+		}
+	}
+	// Messages grow with load; msgs/flow must stay in the same ballpark
+	// (no super-linear control-plane blowup).
+	if points[2].ControlMessages <= points[0].ControlMessages {
+		t.Fatal("messages should grow with load")
+	}
+	if points[2].MsgsPerFlow > 4*points[0].MsgsPerFlow {
+		t.Fatalf("per-flow overhead blew up: %g -> %g",
+			points[0].MsgsPerFlow, points[2].MsgsPerFlow)
+	}
+	if table := OverheadTable(points); len(table) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders sweep series as an ASCII line chart (fixed-width grid,
+// one letter per series), good enough to eyeball the figures in a
+// terminal. Series are marked with their label's first letter; collisions
+// render '*'.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		maxY = minY + 1
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != mark {
+			grid[row][col] = '*'
+		} else {
+			grid[row][col] = mark
+		}
+	}
+	for _, s := range series {
+		mark := byte('?')
+		if len(s.Label) > 0 {
+			mark = s.Label[0]
+		}
+		for i := 0; i+1 < len(s.X); i++ {
+			// Linear interpolation between sweep points.
+			steps := width / max(len(s.X)-1, 1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(max(steps, 1))
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, mark)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], mark)
+		}
+	}
+	fmt.Fprintf(&b, "%8.3f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%8s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%8.3f └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%9s%-12g%*s\n", "", minX, width-10, fmt.Sprint(maxX))
+	var legend []string
+	for _, s := range series {
+		if len(s.Label) > 0 {
+			legend = append(legend, fmt.Sprintf("%c=%s", s.Label[0], s.Label))
+		}
+	}
+	fmt.Fprintf(&b, "%9s%s\n", "", strings.Join(legend, " "))
+	return b.String()
+}

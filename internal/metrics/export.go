@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits sweep series as CSV: one row per x value, one column per
+// series, with the x-axis label as the first header cell. Points missing
+// from a series are left empty.
+func WriteCSV(w io.Writer, xLabel string, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{xLabel}, labels(series)...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for _, x := range unionX(series) {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonSweep is the WriteJSON document shape.
+type jsonSweep struct {
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// WriteJSON emits sweep series as an indented JSON document.
+func WriteJSON(w io.Writer, xLabel string, series []Series) error {
+	doc := jsonSweep{XLabel: xLabel, Series: series}
+	if len(series) > 0 {
+		doc.YLabel = series[0].YLabel
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("metrics: json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a document written by WriteJSON.
+func ReadJSON(r io.Reader) (xLabel string, series []Series, err error) {
+	var doc jsonSweep
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return "", nil, fmt.Errorf("metrics: json decode: %w", err)
+	}
+	return doc.XLabel, doc.Series, nil
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func unionX(series []Series) []float64 {
+	set := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			set[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}

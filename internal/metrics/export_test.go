@@ -1,0 +1,105 @@
+package metrics_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taps/internal/metrics"
+)
+
+func sample() []metrics.Series {
+	return []metrics.Series{
+		{Label: "TAPS", X: []float64{20, 40, 60}, Y: []float64{0.33, 0.53, 0.7},
+			XLabel: "deadline_ms", YLabel: "task completion ratio"},
+		{Label: "PDQ", X: []float64{20, 40, 60}, Y: []float64{0.2, 0.4, 0.5}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := metrics.WriteCSV(&buf, "deadline_ms", sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "deadline_ms,TAPS,PDQ" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "40,0.53,0.4" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVMissingPointsEmpty(t *testing.T) {
+	series := []metrics.Series{
+		{Label: "A", X: []float64{1}, Y: []float64{0.5}},
+		{Label: "B", X: []float64{2}, Y: []float64{0.7}},
+	}
+	var buf bytes.Buffer
+	if err := metrics.WriteCSV(&buf, "x", series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "1,0.5," || lines[2] != "2,,0.7" {
+		t.Fatalf("rows = %q", lines[1:])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := metrics.WriteJSON(&buf, "deadline_ms", sample()); err != nil {
+		t.Fatal(err)
+	}
+	xLabel, series, err := metrics.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xLabel != "deadline_ms" || len(series) != 2 {
+		t.Fatalf("xLabel=%q series=%d", xLabel, len(series))
+	}
+	if series[0].Label != "TAPS" || series[0].Y[2] != 0.7 {
+		t.Fatalf("series = %+v", series[0])
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, _, err := metrics.ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	out := metrics.Chart("Fig 6b", sample(), 40, 10)
+	for _, want := range []string{"Fig 6b", "T=TAPS", "P=PDQ", "T", "P"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + top axis + 10 rows + bottom axis + x labels + legend
+	if len(lines) != 15 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if out := metrics.Chart("empty", nil, 20, 5); !strings.Contains(out, "empty") {
+		t.Fatal("title missing")
+	}
+	one := []metrics.Series{{Label: "X", X: []float64{5}, Y: []float64{1}}}
+	out := metrics.Chart("single", one, 20, 5)
+	if !strings.Contains(out, "X") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := metrics.Chart("tiny", sample(), 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("dimensions not clamped to sane minimums")
+	}
+}

@@ -1,0 +1,176 @@
+// Package metrics computes the evaluation metrics of §V-A from a completed
+// simulation and renders the rows/series the paper's figures report.
+//
+// Metrics:
+//   - task completion ratio: tasks whose every flow finished on time / tasks
+//   - flow completion ratio: flows finished on time / flows
+//   - application throughput: bytes of on-time flows / total task bytes
+//     (the "ratio of the total size of flows finished before deadlines")
+//   - wasted bandwidth ratio: bytes carried for flows that did NOT finish
+//     on time / total task bytes
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taps/internal/sim"
+)
+
+// Summary holds the §V-A metrics for one run.
+type Summary struct {
+	Scheduler string
+
+	Tasks          int
+	TasksCompleted int
+	Flows          int
+	FlowsOnTime    int
+
+	TotalBytes  int64
+	UsefulBytes float64 // bytes belonging to on-time flows
+	WastedBytes float64 // bytes carried for flows that missed
+
+	// CompletedTaskBytes is the byte volume of tasks whose every flow
+	// finished on time.
+	CompletedTaskBytes int64
+}
+
+// TaskCompletionRatio is the headline metric of the paper.
+func (s Summary) TaskCompletionRatio() float64 { return ratio(s.TasksCompleted, s.Tasks) }
+
+// FlowCompletionRatio ignores task grouping (Fig. 10).
+func (s Summary) FlowCompletionRatio() float64 { return ratio(s.FlowsOnTime, s.Flows) }
+
+// ApplicationThroughput is what Fig. 6(a)/9(a) plot: the task-size
+// completion ratio, i.e. the byte volume of fully completed tasks over the
+// total task bytes. (§V-B contrasts Fig. 6(a) with Fig. 6(b) as "task size
+// ratio" vs "task number ratio"; see EXPERIMENTS.md on the §V-A wording.)
+func (s Summary) ApplicationThroughput() float64 {
+	if s.TotalBytes == 0 {
+		return 0
+	}
+	return float64(s.CompletedTaskBytes) / float64(s.TotalBytes)
+}
+
+// FlowByteThroughput is the §V-A textual definition: bytes of flows
+// finished before their deadlines regardless of task completion.
+func (s Summary) FlowByteThroughput() float64 {
+	if s.TotalBytes == 0 {
+		return 0
+	}
+	return s.UsefulBytes / float64(s.TotalBytes)
+}
+
+// WastedBandwidthRatio is the Fig. 8 metric.
+func (s Summary) WastedBandwidthRatio() float64 {
+	if s.TotalBytes == 0 {
+		return 0
+	}
+	return s.WastedBytes / float64(s.TotalBytes)
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Summarize computes the Summary of a finished run.
+func Summarize(res *sim.Result) Summary {
+	s := Summary{Scheduler: res.Scheduler, Tasks: len(res.Tasks), Flows: len(res.Flows)}
+	for _, t := range res.Tasks {
+		if t.Completed(res.Flows) {
+			s.TasksCompleted++
+			s.CompletedTaskBytes += t.TotalBytes(res.Flows)
+		}
+	}
+	for _, f := range res.Flows {
+		s.TotalBytes += f.Size
+		if f.OnTime() {
+			s.FlowsOnTime++
+			s.UsefulBytes += float64(f.Size)
+		} else {
+			s.WastedBytes += f.BytesSent
+		}
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: tasks %d/%d (%.1f%%), flows %d/%d (%.1f%%), app tput %.1f%%, wasted %.2f%%",
+		s.Scheduler, s.TasksCompleted, s.Tasks, 100*s.TaskCompletionRatio(),
+		s.FlowsOnTime, s.Flows, 100*s.FlowCompletionRatio(),
+		100*s.ApplicationThroughput(), 100*s.WastedBandwidthRatio())
+}
+
+// Series is one labelled line of a figure: an x-axis parameter sweep with
+// one y value per point.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// Table renders sweep results as an aligned text table: one row per x
+// value, one column per series (scheduler), mirroring the paper's figures.
+func Table(title, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	// Collect the union of x values (they are identical across series in
+	// practice, but stay safe).
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = max(len(c), 8)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	for _, x := range xs {
+		cells := []string{trimFloat(x)}
+		for _, s := range series {
+			cell := "-"
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf("%.4f", s.Y[i])
+					break
+				}
+			}
+			cells = append(cells, cell)
+		}
+		writeRow(cells)
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

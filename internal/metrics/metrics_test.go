@@ -1,0 +1,150 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"taps/internal/metrics"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// build a tiny finished Result by hand via a real run.
+func result(t *testing.T) *sim.Result {
+	t.Helper()
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	specs := []sim.TaskSpec{
+		// Completes on time: 1000 bytes, 5 ms.
+		{Arrival: 0, Deadline: 5 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+		// Misses: arrives at 0 but must wait for flow 0 (serial sched),
+		// 4000 bytes with a 2 ms deadline. Gets killed at deadline with
+		// 1000 bytes sent.
+		{Arrival: 0, Deadline: 2 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 4000}}},
+	}
+	eng := sim.New(g, topology.NewBFSRouting(g), killAtDeadlineSerial{}, specs,
+		sim.Config{Validate: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+type killAtDeadlineSerial struct{ sim.NopHooks }
+
+func (killAtDeadlineSerial) Name() string { return "serial" }
+
+func (killAtDeadlineSerial) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	st.KillFlow(f, "missed")
+}
+
+func (killAtDeadlineSerial) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	if len(flows) == 0 {
+		return nil, simtime.Infinity
+	}
+	return sim.RateMap{flows[0].ID: st.Graph().MinCapacity(flows[0].Path)}, simtime.Infinity
+}
+
+func TestSummarize(t *testing.T) {
+	sum := metrics.Summarize(result(t))
+	if sum.Tasks != 2 || sum.Flows != 2 {
+		t.Fatalf("counts: %+v", sum)
+	}
+	if sum.TasksCompleted != 1 || sum.FlowsOnTime != 1 {
+		t.Fatalf("completed: %+v", sum)
+	}
+	if sum.TotalBytes != 5000 {
+		t.Fatalf("total bytes = %d", sum.TotalBytes)
+	}
+	if sum.UsefulBytes != 1000 {
+		t.Fatalf("useful = %g", sum.UsefulBytes)
+	}
+	// Flow 1 ran [1ms, 2ms) at 1000 B/ms -> 1000 wasted bytes.
+	if sum.WastedBytes < 999 || sum.WastedBytes > 1001 {
+		t.Fatalf("wasted = %g", sum.WastedBytes)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	sum := metrics.Summarize(result(t))
+	if got := sum.TaskCompletionRatio(); got != 0.5 {
+		t.Fatalf("task ratio = %g", got)
+	}
+	if got := sum.FlowCompletionRatio(); got != 0.5 {
+		t.Fatalf("flow ratio = %g", got)
+	}
+	// Single-flow tasks: task-size ratio equals flow-byte ratio here.
+	if got := sum.ApplicationThroughput(); got != 0.2 {
+		t.Fatalf("app tput = %g", got)
+	}
+	if got := sum.FlowByteThroughput(); got != 0.2 {
+		t.Fatalf("flow byte tput = %g", got)
+	}
+	w := sum.WastedBandwidthRatio()
+	if w < 0.199 || w > 0.201 {
+		t.Fatalf("wasted ratio = %g", w)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var sum metrics.Summary
+	if sum.TaskCompletionRatio() != 0 || sum.FlowCompletionRatio() != 0 ||
+		sum.ApplicationThroughput() != 0 || sum.WastedBandwidthRatio() != 0 ||
+		sum.FlowByteThroughput() != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	sum := metrics.Summarize(result(t))
+	s := sum.String()
+	for _, want := range []string{"tasks 1/2", "flows 1/2", "50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	series := []metrics.Series{
+		{Label: "TAPS", X: []float64{20, 40}, Y: []float64{0.5, 0.9}},
+		{Label: "PDQ", X: []float64{20, 40}, Y: []float64{0.3, 0.7}},
+	}
+	out := metrics.Table("Fig 6b", "deadline_ms", series)
+	for _, want := range []string{"Fig 6b", "deadline_ms", "TAPS", "PDQ", "0.5000", "0.7000", "20", "40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableHandlesMissingPoints(t *testing.T) {
+	series := []metrics.Series{
+		{Label: "A", X: []float64{1}, Y: []float64{0.1}},
+		{Label: "B", X: []float64{2}, Y: []float64{0.2}},
+	}
+	out := metrics.Table("t", "x", series)
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing points should render as '-':\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	out := metrics.Table("empty", "x", nil)
+	if !strings.Contains(out, "empty") {
+		t.Fatal("title missing")
+	}
+}

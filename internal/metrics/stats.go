@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Accumulator computes running mean and standard deviation (Welford's
+// algorithm). The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// TableWithError renders mean±stddev cells: meanSeries and stdSeries are
+// aligned by label and x. A nil/empty stdSeries degrades to Table.
+func TableWithError(title, xLabel string, meanSeries, stdSeries []Series) string {
+	if len(stdSeries) == 0 {
+		return Table(title, xLabel, meanSeries)
+	}
+	stdBy := make(map[string]Series, len(stdSeries))
+	for _, s := range stdSeries {
+		stdBy[s.Label] = s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s (mean±std)\n", title)
+	cols := []string{xLabel}
+	for _, s := range meanSeries {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = max(len(c), 14)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	if len(meanSeries) == 0 {
+		return b.String()
+	}
+	for i, x := range meanSeries[0].X {
+		cells := []string{trimFloat(x)}
+		for _, s := range meanSeries {
+			cell := fmt.Sprintf("%.4f", s.Y[i])
+			if std, ok := stdBy[s.Label]; ok && i < len(std.Y) {
+				cell = fmt.Sprintf("%.4f±%.4f", s.Y[i], std.Y[i])
+			}
+			cells = append(cells, cell)
+		}
+		writeRow(cells)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package metrics_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"taps/internal/metrics"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a metrics.Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("n = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g", a.Mean())
+	}
+	// Sample stddev of this classic set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(a.StdDev()-want) > 1e-12 {
+		t.Fatalf("std = %g want %g", a.StdDev(), want)
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a metrics.Accumulator
+	a.Add(42)
+	if a.Mean() != 42 || a.StdDev() != 0 {
+		t.Fatalf("mean=%g std=%g", a.Mean(), a.StdDev())
+	}
+}
+
+func TestPropAccumulatorMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a metrics.Accumulator
+		var sum float64
+		clean := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			a.Add(x)
+			sum += x
+		}
+		if len(clean) == 0 {
+			return a.N() == 0
+		}
+		mean := sum / float64(len(clean))
+		if math.Abs(a.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		if len(clean) < 2 {
+			return a.StdDev() == 0
+		}
+		var m2 float64
+		for _, x := range clean {
+			m2 += (x - mean) * (x - mean)
+		}
+		want := math.Sqrt(m2 / float64(len(clean)-1))
+		return math.Abs(a.StdDev()-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableWithError(t *testing.T) {
+	mean := []metrics.Series{{Label: "TAPS", X: []float64{20, 40}, Y: []float64{0.5, 0.7}}}
+	std := []metrics.Series{{Label: "TAPS", X: []float64{20, 40}, Y: []float64{0.02, 0.04}}}
+	out := metrics.TableWithError("fig", "x", mean, std)
+	if !strings.Contains(out, "0.5000±0.0200") || !strings.Contains(out, "0.7000±0.0400") {
+		t.Fatalf("missing ± cells:\n%s", out)
+	}
+}
+
+func TestTableWithErrorFallsBack(t *testing.T) {
+	mean := []metrics.Series{{Label: "A", X: []float64{1}, Y: []float64{0.3}}}
+	out := metrics.TableWithError("fig", "x", mean, nil)
+	if strings.Contains(out, "±") {
+		t.Fatal("no stddev series: must fall back to plain table")
+	}
+	if !strings.Contains(out, "0.3000") {
+		t.Fatalf("plain table missing value:\n%s", out)
+	}
+}

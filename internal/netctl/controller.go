@@ -1,0 +1,429 @@
+package netctl
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"taps/internal/core"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// ControllerConfig tunes the networked controller.
+type ControllerConfig struct {
+	// Speedup is virtual µs per real µs (default 1: real time).
+	Speedup float64
+	// MaxPaths caps the planner's candidate path set (default 16).
+	MaxPaths int
+	// NoPreemption disables the preemption branch of the reject rule.
+	NoPreemption bool
+	// Logf receives controller diagnostics (default: discards).
+	Logf func(format string, args ...any)
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Speedup <= 0 {
+		c.Speedup = 1
+	}
+	if c.MaxPaths == 0 {
+		c.MaxPaths = 16
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ctlFlow is the controller's view of one accepted flow.
+type ctlFlow struct {
+	id       uint64
+	task     int64
+	src, dst topology.NodeID
+	size     int64
+	deadline simtime.Time
+	path     topology.Path
+	slices   simtime.IntervalSet
+	rate     float64
+	done     bool
+}
+
+// remainingAt derives the bytes left at a virtual instant from the
+// authoritative plan: the sender is busy exactly during its slices.
+func (f *ctlFlow) remainingAt(now simtime.Time) float64 {
+	if f.done {
+		return 0
+	}
+	elapsed := simtime.Intersect(f.slices, simtime.NewIntervalSet(
+		simtime.Interval{Start: 0, End: now})).Total()
+	rem := float64(f.size) - f.rate*float64(elapsed)/1e6
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Controller is the networked TAPS controller. Create with NewController,
+// start with Serve (or ServeListener), stop with Close.
+type Controller struct {
+	cfg     ControllerConfig
+	graph   *topology.Graph
+	routing topology.Routing
+	planner *core.Planner
+	epoch   time.Time
+
+	mu        sync.Mutex
+	agents    map[*codec]HelloMsg
+	flows     map[uint64]*ctlFlow
+	taskFlows map[int64][]uint64
+	accepted  map[int64]bool
+	decided   map[int64]bool
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewController builds a controller for the topology.
+func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:       cfg,
+		graph:     g,
+		routing:   r,
+		planner:   &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths},
+		epoch:     time.Now(),
+		agents:    make(map[*codec]HelloMsg),
+		flows:     make(map[uint64]*ctlFlow),
+		taskFlows: make(map[int64][]uint64),
+		accepted:  make(map[int64]bool),
+		decided:   make(map[int64]bool),
+		closed:    make(chan struct{}),
+	}
+}
+
+// now is the current virtual time.
+func (c *Controller) now() simtime.Time {
+	return simtime.Time(float64(time.Since(c.epoch).Microseconds()) * c.cfg.Speedup)
+}
+
+// Serve listens on addr ("127.0.0.1:0" for tests) and handles agents until
+// Close. It returns the bound address immediately via the channelless
+// Addr method; use ServeListener to supply your own listener.
+func (c *Controller) Serve(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netctl: listen: %w", err)
+	}
+	return c.ServeListener(l)
+}
+
+// ServeListener accepts agents on l until Close.
+func (c *Controller) ServeListener(l net.Listener) error {
+	c.mu.Lock()
+	c.listener = l
+	c.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return nil
+			default:
+				return fmt.Errorf("netctl: accept: %w", err)
+			}
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(newCodec(conn))
+		}()
+	}
+}
+
+// Addr returns the bound listener address (empty before Serve).
+func (c *Controller) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+// Close stops the listener and drops all agents.
+func (c *Controller) Close() error {
+	close(c.closed)
+	c.mu.Lock()
+	l := c.listener
+	for cd := range c.agents {
+		cd.close()
+	}
+	c.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// handle runs one agent connection to completion.
+func (c *Controller) handle(cd *codec) {
+	defer cd.close()
+	env, err := cd.recv()
+	if err != nil || env.Type != TypeHello || env.Hello == nil {
+		c.cfg.Logf("netctl: bad hello: %v", err)
+		return
+	}
+	hello := *env.Hello
+	if err := cd.send(Envelope{Type: TypeWelcome, Welcome: &WelcomeMsg{
+		EpochUnixNano: c.epoch.UnixNano(),
+		Speedup:       c.cfg.Speedup,
+	}}); err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.agents[cd] = hello
+	c.mu.Unlock()
+	c.cfg.Logf("netctl: agent %s (host %d) connected", hello.Agent, hello.Host)
+	defer func() {
+		c.mu.Lock()
+		delete(c.agents, cd)
+		c.mu.Unlock()
+	}()
+	for {
+		env, err := cd.recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case TypeProbe:
+			if env.Probe != nil {
+				c.onProbe(*env.Probe)
+			}
+		case TypeTerm:
+			if env.Term != nil {
+				c.onTerm(*env.Term)
+			}
+		default:
+			c.cfg.Logf("netctl: unexpected %s from %s", env.Type, hello.Agent)
+		}
+	}
+}
+
+// onProbe runs Alg. 1 + the reject rule and broadcasts the outcome.
+func (c *Controller) onProbe(p ProbeMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.decided[p.Task] {
+		// Duplicate probe (agent retry): replan and re-broadcast.
+		if c.accepted[p.Task] {
+			c.replanLocked()
+			c.broadcastGrantsLocked()
+		} else {
+			c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "already rejected"}})
+		}
+		return
+	}
+	c.decided[p.Task] = true
+	now := c.now()
+
+	// Tentative: all in-flight flows plus the new task's.
+	for _, fi := range p.Flows {
+		c.flows[fi.ID] = &ctlFlow{
+			id: fi.ID, task: p.Task, src: fi.Src, dst: fi.Dst,
+			size: fi.Size, deadline: p.Deadline,
+		}
+		c.taskFlows[p.Task] = append(c.taskFlows[p.Task], fi.ID)
+	}
+	missed := c.planLocked(now)
+	decision, victim := core.EvaluateRejectRule(missed, p.Task, c.fractionLocked(now), c.cfg.NoPreemption)
+	switch decision {
+	case core.RejectNew:
+		c.dropTaskLocked(p.Task)
+		c.replanLocked()
+		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
+		c.broadcastGrantsLocked()
+		c.cfg.Logf("netctl: task %d rejected", p.Task)
+	case core.Preempt:
+		c.dropTaskLocked(victim)
+		c.accepted[p.Task] = true
+		c.replanLocked()
+		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: victim, Reason: "preempted"}})
+		c.broadcastGrantsLocked()
+		c.cfg.Logf("netctl: task %d accepted, task %d preempted", p.Task, victim)
+	default:
+		c.accepted[p.Task] = true
+		c.broadcastGrantsLocked()
+		c.cfg.Logf("netctl: task %d accepted", p.Task)
+	}
+}
+
+// planLocked re-plans every undone flow of every accepted-or-pending task
+// from `now` and returns the set of tasks with missed deadlines.
+func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
+	type item struct {
+		f   *ctlFlow
+		req core.FlowReq
+	}
+	var items []item
+	for _, f := range c.flows {
+		if f.done {
+			continue
+		}
+		rem := f.remainingAt(now)
+		if rem <= 0 {
+			// Virtually complete per the authoritative plan; the TERM
+			// just has not arrived yet. Nothing to schedule, and the
+			// flow must not count as a miss.
+			continue
+		}
+		items = append(items, item{f, core.FlowReq{
+			Key: f.id, Src: f.src, Dst: f.dst,
+			Bytes: rem, Deadline: f.deadline,
+		}})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		a, b := items[i].req, items[j].req
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Key < b.Key
+	})
+	reqs := make([]core.FlowReq, len(items))
+	for i, it := range items {
+		reqs[i] = it.req
+	}
+	entries := c.planner.PlanAll(now, reqs, nil)
+	missed := make(map[int64]bool)
+	for i, e := range entries {
+		f := items[i].f
+		if e.Path == nil || e.Finish > f.deadline {
+			missed[f.task] = true
+			continue
+		}
+		f.path = e.Path
+		f.slices = e.Slices
+		f.rate = c.graph.MinCapacity(e.Path)
+	}
+	return missed
+}
+
+// replanLocked re-plans the surviving flows (used after a drop).
+func (c *Controller) replanLocked() { c.planLocked(c.now()) }
+
+// fractionLocked returns the byte-completion fraction function for the
+// reject rule, derived from the authoritative plan.
+func (c *Controller) fractionLocked(now simtime.Time) func(int64) float64 {
+	return func(task int64) float64 {
+		var total, sent float64
+		for _, fid := range c.taskFlows[task] {
+			f := c.flows[fid]
+			total += float64(f.size)
+			sent += float64(f.size) - f.remainingAt(now)
+		}
+		if total == 0 {
+			return 1
+		}
+		return sent / total
+	}
+}
+
+// dropTaskLocked forgets a task's flows.
+func (c *Controller) dropTaskLocked(task int64) {
+	c.accepted[task] = false
+	for _, fid := range c.taskFlows[task] {
+		delete(c.flows, fid)
+	}
+	delete(c.taskFlows, task)
+}
+
+// broadcastGrantsLocked sends the current schedule of every accepted task.
+func (c *Controller) broadcastGrantsLocked() {
+	tasks := make([]int64, 0, len(c.taskFlows))
+	for t := range c.taskFlows {
+		if c.accepted[t] {
+			tasks = append(tasks, t)
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	for _, t := range tasks {
+		grant := GrantMsg{Task: t}
+		for _, fid := range c.taskFlows[t] {
+			f := c.flows[fid]
+			if f.done {
+				continue
+			}
+			fg := FlowGrant{ID: f.id, Src: f.src, Deadline: f.deadline, Path: f.path}
+			for _, iv := range f.slices.Intervals() {
+				fg.Slices = append(fg.Slices, SliceWire{Start: iv.Start, End: iv.End})
+			}
+			grant.Flows = append(grant.Flows, fg)
+		}
+		c.broadcastLocked(Envelope{Type: TypeGrant, Grant: &grant})
+	}
+}
+
+func (c *Controller) broadcastLocked(env Envelope) {
+	for cd := range c.agents {
+		if err := cd.send(env); err != nil {
+			c.cfg.Logf("netctl: broadcast to agent failed: %v", err)
+		}
+	}
+}
+
+// onTerm marks a flow finished and releases its future occupancy.
+func (c *Controller) onTerm(t TermMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flows[t.Flow]; ok {
+		f.done = true
+	}
+}
+
+// Snapshot is introspection for tests and operators.
+type Snapshot struct {
+	Agents        int
+	AcceptedTasks []int64
+	PendingFlows  int
+	// LinkBusy maps link IDs to the planned busy time of undone flows.
+	LinkBusy map[topology.LinkID]simtime.IntervalSet
+	// OverlapViolations counts link-time collisions between planned
+	// flows; a correct plan has zero.
+	OverlapViolations int
+}
+
+// Snapshot returns the controller's current state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{LinkBusy: make(map[topology.LinkID]simtime.IntervalSet)}
+	s.Agents = len(c.agents)
+	for t, ok := range c.accepted {
+		if ok {
+			s.AcceptedTasks = append(s.AcceptedTasks, t)
+		}
+	}
+	sort.Slice(s.AcceptedTasks, func(i, j int) bool { return s.AcceptedTasks[i] < s.AcceptedTasks[j] })
+	for _, f := range c.flows {
+		if f.done {
+			continue
+		}
+		s.PendingFlows++
+		for _, l := range f.path {
+			set := s.LinkBusy[l]
+			if !simtime.Intersect(set, f.slices).Empty() {
+				s.OverlapViolations++
+			}
+			set.UnionInPlace(&f.slices)
+			s.LinkBusy[l] = set
+		}
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package netctl
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"taps/internal/simtime"
+)
+
+// StatusLink is one link's planned occupancy in the status document.
+type StatusLink struct {
+	Link   int32        `json:"link"`
+	Name   string       `json:"name"`
+	BusyUs simtime.Time `json:"busy_us"`
+}
+
+// Status is the controller's monitoring document, served by the HTTP
+// handler at /status.
+type Status struct {
+	NowUs         simtime.Time `json:"now_us"`
+	Agents        int          `json:"agents"`
+	AcceptedTasks []int64      `json:"accepted_tasks"`
+	RejectedTasks []int64      `json:"rejected_tasks"`
+	PendingFlows  int          `json:"pending_flows"`
+	BusiestLinks  []StatusLink `json:"busiest_links"`
+	OverlapErrors int          `json:"overlap_errors"`
+	TopologyHosts int          `json:"topology_hosts"`
+	TopologyLinks int          `json:"topology_links"`
+	SpeedupFactor float64      `json:"speedup"`
+	DecidedTasks  int          `json:"decided_tasks"`
+}
+
+// status assembles the document under the controller lock.
+func (c *Controller) status() Status {
+	snap := c.Snapshot()
+	c.mu.Lock()
+	st := Status{
+		NowUs:         c.now(),
+		Agents:        snap.Agents,
+		AcceptedTasks: snap.AcceptedTasks,
+		PendingFlows:  snap.PendingFlows,
+		OverlapErrors: snap.OverlapViolations,
+		TopologyHosts: len(c.graph.Hosts()),
+		TopologyLinks: c.graph.NumLinks(),
+		SpeedupFactor: c.cfg.Speedup,
+		DecidedTasks:  len(c.decided),
+	}
+	for t, ok := range c.accepted {
+		if !ok && c.decided[t] {
+			st.RejectedTasks = append(st.RejectedTasks, t)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(st.RejectedTasks, func(i, j int) bool { return st.RejectedTasks[i] < st.RejectedTasks[j] })
+	type lb struct {
+		l    StatusLink
+		busy simtime.Time
+	}
+	var links []lb
+	for l, set := range snap.LinkBusy {
+		links = append(links, lb{
+			l:    StatusLink{Link: int32(l), Name: c.graph.Link(l).Name, BusyUs: set.Total()},
+			busy: set.Total(),
+		})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].busy != links[j].busy {
+			return links[i].busy > links[j].busy
+		}
+		return links[i].l.Link < links[j].l.Link
+	})
+	for i, l := range links {
+		if i >= 8 {
+			break
+		}
+		st.BusiestLinks = append(st.BusiestLinks, l.l)
+	}
+	return st
+}
+
+// HTTPHandler returns a monitoring handler:
+//
+//	GET /status  -> Status JSON
+//	GET /healthz -> 200 "ok"
+//
+// Mount it on any mux/server the operator runs alongside Serve:
+//
+//	go http.ListenAndServe(":8080", ctl.HTTPHandler())
+func (c *Controller) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(c.status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	return mux
+}

@@ -1,0 +1,90 @@
+package netctl_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"taps/internal/netctl"
+	"taps/internal/simtime"
+)
+
+func TestHTTPStatusEndpoint(t *testing.T) {
+	ctl, addr, g := startController(t)
+	hosts := g.Hosts()
+	a := dial(t, addr, "a", hosts[0])
+	if err := a.SubmitTask(1, 500*simtime.Millisecond, []netctl.FlowInfo{
+		{ID: 10, Src: hosts[0], Dst: hosts[7], Size: 2_000_000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st netctl.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Agents != 1 {
+		t.Fatalf("agents = %d", st.Agents)
+	}
+	if len(st.AcceptedTasks) != 1 || st.AcceptedTasks[0] != 1 {
+		t.Fatalf("accepted = %v", st.AcceptedTasks)
+	}
+	if st.TopologyHosts != 8 {
+		t.Fatalf("hosts = %d", st.TopologyHosts)
+	}
+	if st.OverlapErrors != 0 {
+		t.Fatalf("overlaps = %d", st.OverlapErrors)
+	}
+	if st.PendingFlows != 1 || len(st.BusiestLinks) == 0 {
+		t.Fatalf("pending=%d links=%d", st.PendingFlows, len(st.BusiestLinks))
+	}
+	a.WaitLocalFlows()
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	ctl, _, _ := startController(t)
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatusRejectedTasks(t *testing.T) {
+	ctl, addr, g := startController(t)
+	hosts := g.Hosts()
+	a := dial(t, addr, "a", hosts[0])
+	_ = a.SubmitTask(9, 1*simtime.Millisecond, []netctl.FlowInfo{
+		{ID: 90, Src: hosts[0], Dst: hosts[7], Size: 500_000_000},
+	})
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st netctl.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.RejectedTasks) != 1 || st.RejectedTasks[0] != 9 {
+		t.Fatalf("rejected = %v", st.RejectedTasks)
+	}
+}

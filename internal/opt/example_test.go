@@ -1,0 +1,31 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"taps/internal/opt"
+)
+
+// ExampleMaxTasks solves the paper's Fig. 1 instance exactly: only one of
+// the two tasks can complete on the bottleneck link.
+func ExampleMaxTasks() {
+	tasks := []opt.Task{
+		{{Deadline: 4, Work: 2}, {Deadline: 4, Work: 4}}, // t1: 6 units by t=4
+		{{Deadline: 4, Work: 1}, {Deadline: 4, Work: 3}}, // t2: 4 units by t=4
+	}
+	best, subset := opt.MaxTasks(tasks)
+	fmt.Println(best, subset)
+	// Output:
+	// 1 [1]
+}
+
+// ExampleEDFFeasible shows the single-link feasibility oracle.
+func ExampleEDFFeasible() {
+	jobs := []opt.Job{
+		{Release: 0, Deadline: 10, Work: 6},
+		{Release: 2, Deadline: 4, Work: 2}, // preempts the first
+	}
+	fmt.Println(opt.EDFFeasible(jobs))
+	// Output:
+	// true
+}

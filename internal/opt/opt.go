@@ -1,0 +1,128 @@
+// Package opt computes exact optima for small task-scheduling instances on
+// a single bottleneck link. The paper proves the general problem NP-hard
+// (§IV-B, by reduction from Hamiltonian Circuit); on one preemptive link,
+// however, a set of flows is feasible iff EDF meets every deadline, so the
+// maximum number of completable tasks can be found by enumerating task
+// subsets and testing EDF feasibility — exponential in the number of
+// tasks, which is exactly why it only serves as a test oracle and
+// near-optimality ablation for TAPS.
+package opt
+
+import (
+	"math/bits"
+	"sort"
+
+	"taps/internal/simtime"
+)
+
+// Job is one flow reduced to the single-link view: it needs Work time
+// units of the link, is available from Release, and must finish by
+// Deadline (absolute).
+type Job struct {
+	Release  simtime.Time
+	Deadline simtime.Time
+	Work     simtime.Time
+}
+
+// Task groups the jobs that must all complete for the task to count.
+type Task []Job
+
+// EDFFeasible reports whether preemptive EDF completes every job by its
+// deadline on one unit-speed link — which, by EDF's optimality for
+// single-machine preemptive feasibility, decides whether ANY schedule can.
+func EDFFeasible(jobs []Job) bool {
+	if len(jobs) == 0 {
+		return true
+	}
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Release < pending[j].Release })
+
+	// active jobs, maintained sorted by deadline (small n: linear ops).
+	var active []Job
+	now := pending[0].Release
+	for len(pending) > 0 || len(active) > 0 {
+		// Admit released jobs.
+		for len(pending) > 0 && pending[0].Release <= now {
+			j := pending[0]
+			pending = pending[1:]
+			if j.Work <= 0 {
+				continue
+			}
+			active = append(active, j)
+		}
+		if len(active) == 0 {
+			now = pending[0].Release
+			continue
+		}
+		// Pick earliest deadline.
+		best := 0
+		for i := 1; i < len(active); i++ {
+			if active[i].Deadline < active[best].Deadline {
+				best = i
+			}
+		}
+		// Run it until it finishes or the next release.
+		runUntil := now + active[best].Work
+		if len(pending) > 0 && pending[0].Release < runUntil {
+			runUntil = pending[0].Release
+		}
+		active[best].Work -= runUntil - now
+		now = runUntil
+		if active[best].Work <= 0 {
+			if now > active[best].Deadline {
+				return false
+			}
+			active = append(active[:best], active[best+1:]...)
+		} else if now >= active[best].Deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxTasks returns the largest number of tasks whose union of jobs is
+// EDF-feasible on one link, together with one optimal subset (task
+// indices, ascending). It enumerates all 2^n subsets; n is capped at 20.
+func MaxTasks(tasks []Task) (int, []int) {
+	n := len(tasks)
+	if n > 20 {
+		panic("opt: MaxTasks instances are capped at 20 tasks")
+	}
+	bestCount := 0
+	var bestSet []int
+	for mask := 0; mask < 1<<n; mask++ {
+		count := bits.OnesCount(uint(mask))
+		if count <= bestCount {
+			continue
+		}
+		var jobs []Job
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				jobs = append(jobs, tasks[i]...)
+			}
+		}
+		if EDFFeasible(jobs) {
+			bestCount = count
+			bestSet = bestSet[:0]
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					bestSet = append(bestSet, i)
+				}
+			}
+		}
+	}
+	return bestCount, append([]int(nil), bestSet...)
+}
+
+// MaxFlows returns the largest number of individually completable jobs
+// (every job is its own task): the flow-level optimum of Fig. 10's
+// single-flow-task setting.
+func MaxFlows(jobs []Job) int {
+	tasks := make([]Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = Task{j}
+	}
+	best, _ := MaxTasks(tasks)
+	return best
+}

@@ -1,0 +1,211 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taps/internal/core"
+	"taps/internal/opt"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func TestEDFFeasibleTrivial(t *testing.T) {
+	if !opt.EDFFeasible(nil) {
+		t.Fatal("empty set is feasible")
+	}
+	if !opt.EDFFeasible([]opt.Job{{Release: 0, Deadline: 5, Work: 5}}) {
+		t.Fatal("exact fit is feasible")
+	}
+	if opt.EDFFeasible([]opt.Job{{Release: 0, Deadline: 4, Work: 5}}) {
+		t.Fatal("work > window is infeasible")
+	}
+}
+
+func TestEDFFeasiblePreemption(t *testing.T) {
+	// Long job with slack; short urgent job released mid-way must preempt.
+	jobs := []opt.Job{
+		{Release: 0, Deadline: 10, Work: 6},
+		{Release: 2, Deadline: 4, Work: 2},
+	}
+	if !opt.EDFFeasible(jobs) {
+		t.Fatal("preemptive EDF handles this")
+	}
+}
+
+func TestEDFFeasibleOverload(t *testing.T) {
+	jobs := []opt.Job{
+		{Release: 0, Deadline: 4, Work: 3},
+		{Release: 0, Deadline: 4, Work: 3},
+	}
+	if opt.EDFFeasible(jobs) {
+		t.Fatal("6 units of work by t=4 is infeasible")
+	}
+}
+
+func TestEDFFeasibleIdleGap(t *testing.T) {
+	jobs := []opt.Job{
+		{Release: 0, Deadline: 2, Work: 2},
+		{Release: 10, Deadline: 12, Work: 2},
+	}
+	if !opt.EDFFeasible(jobs) {
+		t.Fatal("disjoint windows are feasible")
+	}
+}
+
+// TestMaxTasksFig1: the Fig. 1 instance admits exactly one task (t2).
+func TestMaxTasksFig1(t *testing.T) {
+	tasks := []opt.Task{
+		{{Deadline: 4, Work: 2}, {Deadline: 4, Work: 4}}, // t1: 6 units by 4
+		{{Deadline: 4, Work: 1}, {Deadline: 4, Work: 3}}, // t2: 4 units by 4
+	}
+	best, set := opt.MaxTasks(tasks)
+	if best != 1 {
+		t.Fatalf("optimum = %d, want 1", best)
+	}
+	if len(set) != 1 || set[0] != 1 {
+		t.Fatalf("optimal subset = %v, want [1]", set)
+	}
+}
+
+// TestMaxTasksFig2: the Fig. 2 instance admits both tasks.
+func TestMaxTasksFig2(t *testing.T) {
+	tasks := []opt.Task{
+		{{Deadline: 4, Work: 1}, {Deadline: 4, Work: 1}},
+		{{Deadline: 2, Work: 1}, {Deadline: 2, Work: 1}},
+	}
+	best, _ := opt.MaxTasks(tasks)
+	if best != 2 {
+		t.Fatalf("optimum = %d, want 2", best)
+	}
+}
+
+func TestMaxTasksEmpty(t *testing.T) {
+	best, set := opt.MaxTasks(nil)
+	if best != 0 || len(set) != 0 {
+		t.Fatalf("empty instance: %d %v", best, set)
+	}
+}
+
+func TestMaxFlows(t *testing.T) {
+	jobs := []opt.Job{
+		{Deadline: 2, Work: 2},
+		{Deadline: 2, Work: 2}, // only one of these two fits
+		{Deadline: 10, Work: 3},
+	}
+	if got := opt.MaxFlows(jobs); got != 2 {
+		t.Fatalf("MaxFlows = %d, want 2", got)
+	}
+}
+
+func TestMaxTasksCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above cap")
+		}
+	}()
+	opt.MaxTasks(make([]opt.Task, 21))
+}
+
+// TestPropEDFMatchesCapacityBound: on random same-deadline instances,
+// EDF feasibility equals the trivial capacity test (sum work <= deadline).
+func TestPropEDFMatchesCapacityBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := simtime.Time(1 + rng.Intn(100))
+		var jobs []opt.Job
+		var total simtime.Time
+		for i := 0; i <= rng.Intn(6); i++ {
+			w := simtime.Time(1 + rng.Intn(30))
+			jobs = append(jobs, opt.Job{Deadline: d, Work: w})
+			total += w
+		}
+		return opt.EDFFeasible(jobs) == (total <= d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- TAPS vs optimum on random single-bottleneck instances ---
+
+// runTAPS executes TAPS on a single-link instance and returns the number
+// of tasks completed.
+func runTAPS(t *testing.T, tasks []opt.Task) int {
+	t.Helper()
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	var specs []sim.TaskSpec
+	for _, task := range tasks {
+		spec := sim.TaskSpec{Arrival: 0, Deadline: task[0].Deadline * simtime.Millisecond}
+		for _, j := range task {
+			spec.Flows = append(spec.Flows, sim.FlowSpec{Src: a, Dst: b, Size: j.Work * 1000})
+		}
+		specs = append(specs, spec)
+	}
+	eng := sim.New(g, topology.NewBFSRouting(g), core.New(core.DefaultConfig()), specs,
+		sim.Config{Validate: true, MaxTime: simtime.Time(1e12)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("taps run: %v", err)
+	}
+	done := 0
+	for _, task := range res.Tasks {
+		if task.Completed(res.Flows) {
+			done++
+		}
+	}
+	return done
+}
+
+// TestTAPSNeverBeatsOptimum: sanity — the heuristic cannot exceed the
+// exact optimum; and on these small instances it should reach at least
+// half of it (it usually reaches all of it).
+func TestTAPSNeverBeatsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		tasks := make([]opt.Task, n)
+		for i := range tasks {
+			d := simtime.Time(3 + rng.Intn(10))
+			m := 1 + rng.Intn(3)
+			for j := 0; j < m; j++ {
+				tasks[i] = append(tasks[i], opt.Job{
+					Deadline: d, Work: simtime.Time(1 + rng.Intn(4)),
+				})
+			}
+		}
+		best, _ := opt.MaxTasks(tasks)
+		got := runTAPS(t, tasks)
+		if got > best {
+			t.Fatalf("trial %d: TAPS %d > optimum %d (oracle or sim broken)", trial, got, best)
+		}
+		if best > 0 && got*2 < best {
+			t.Errorf("trial %d: TAPS %d far below optimum %d", trial, got, best)
+		}
+	}
+}
+
+// TestTAPSReachesOptimumOnPaperExamples mirrors the motivation figures.
+func TestTAPSReachesOptimumOnPaperExamples(t *testing.T) {
+	fig1 := []opt.Task{
+		{{Deadline: 4, Work: 2}, {Deadline: 4, Work: 4}},
+		{{Deadline: 4, Work: 1}, {Deadline: 4, Work: 3}},
+	}
+	if best, _ := opt.MaxTasks(fig1); runTAPS(t, fig1) != best {
+		t.Error("TAPS should reach the optimum on Fig. 1")
+	}
+	fig2 := []opt.Task{
+		{{Deadline: 4, Work: 1}, {Deadline: 4, Work: 1}},
+		{{Deadline: 2, Work: 1}, {Deadline: 2, Work: 1}},
+	}
+	if best, _ := opt.MaxTasks(fig2); runTAPS(t, fig2) != best {
+		t.Error("TAPS should reach the optimum on Fig. 2")
+	}
+}

@@ -1,0 +1,161 @@
+// Package packet is a per-packet, store-and-forward replay of a fluid
+// simulation: it cross-validates the flow-level abstraction the paper's
+// simulator (and ours, internal/sim) is built on.
+//
+// Replay takes a finished fluid run with recorded transmission segments
+// (sim.Config.RecordSegments), turns every flow's byte progress into
+// MTU-sized packets injected at the instants the fluid model sent those
+// bytes, and forwards them hop by hop through FIFO links with real
+// serialization delay. If the fluid schedule was honest — in particular
+// TAPS's claim that links carry one flow at a time at line rate — packet
+// completions land within a pipeline latency (path length × packet
+// serialization time) of the fluid finish times, and queueing delay stays
+// bounded by one packet per hop.
+package packet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Config tunes the replay.
+type Config struct {
+	// MTU is the packet payload size in bytes (default 1500).
+	MTU int64
+	// PropagationDelay is added per hop (default 0).
+	PropagationDelay simtime.Time
+}
+
+// Result is the packet-level outcome.
+type Result struct {
+	// FlowFinish is the delivery time of every replayed flow's last
+	// packet.
+	FlowFinish map[sim.FlowID]simtime.Time
+	// MaxQueueDelay is the worst time any packet waited for a link to
+	// free up, per link (absent = never waited).
+	MaxQueueDelay map[topology.LinkID]simtime.Time
+	// Packets is the total number of packets delivered.
+	Packets int64
+}
+
+// event is a packet ready to begin serialization on its next hop.
+type event struct {
+	at   simtime.Time
+	flow sim.FlowID
+	seq  int64
+	size int64
+	hop  int
+	path topology.Path
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].flow != h[j].flow {
+		return h[i].flow < h[j].flow
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Replay forwards every completed flow of the fluid run packet by packet.
+// Flows without recorded segments (never transmitted) are skipped.
+func Replay(g *topology.Graph, fluid *sim.Result, cfg Config) (*Result, error) {
+	if fluid.Segments == nil {
+		return nil, fmt.Errorf("packet: fluid run has no recorded segments (set sim.Config.RecordSegments)")
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	out := &Result{
+		FlowFinish:    make(map[sim.FlowID]simtime.Time),
+		MaxQueueDelay: make(map[topology.LinkID]simtime.Time),
+	}
+	var h eventHeap
+	for _, f := range fluid.Flows {
+		segs := fluid.Segments[f.ID]
+		if len(segs) == 0 || len(f.Path) == 0 {
+			continue
+		}
+		for _, e := range packetize(f, segs, cfg.MTU) {
+			h = append(h, e)
+		}
+	}
+	heap.Init(&h)
+	freeAt := make(map[topology.LinkID]simtime.Time)
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.hop >= len(e.path) {
+			if e.at > out.FlowFinish[e.flow] {
+				out.FlowFinish[e.flow] = e.at
+			}
+			out.Packets++
+			continue
+		}
+		l := e.path[e.hop]
+		start := e.at
+		if free := freeAt[l]; free > start {
+			if wait := free - start; wait > out.MaxQueueDelay[l] {
+				out.MaxQueueDelay[l] = wait
+			}
+			start = free
+		}
+		ser := sim.DurationFor(float64(e.size), g.Link(l).Capacity)
+		done := start + ser
+		freeAt[l] = done
+		heap.Push(&h, event{
+			at:   done + cfg.PropagationDelay,
+			flow: e.flow, seq: e.seq, size: e.size,
+			hop:  e.hop + 1,
+			path: e.path,
+		})
+	}
+	return out, nil
+}
+
+// packetize converts a flow's fluid transmission segments into source
+// injection events: packet k is released the instant the fluid sender
+// finished its k-th MTU of bytes.
+func packetize(f *sim.Flow, segs []sim.Segment, mtu int64) []event {
+	var events []event
+	var sent float64 // bytes completed across segments
+	var seq int64
+	target := float64(mtu)
+	total := f.BytesSent
+	for _, s := range segs {
+		segBytes := s.Rate * float64(s.Interval.Len()) / 1e6
+		for target <= sent+segBytes+1e-6 && target <= total+1e-6 {
+			// Instant within this segment where cumulative bytes hit
+			// `target`.
+			dt := (target - sent) / s.Rate * 1e6
+			events = append(events, event{
+				at:   s.Interval.Start + simtime.Time(dt),
+				flow: f.ID, seq: seq, size: mtu,
+				path: f.Path,
+			})
+			seq++
+			target += float64(mtu)
+		}
+		sent += segBytes
+	}
+	// Final partial packet, if any bytes remain past the last full MTU.
+	lastFull := float64(seq) * float64(mtu)
+	if rem := total - lastFull; rem > 0.5 && len(segs) > 0 {
+		events = append(events, event{
+			at:   segs[len(segs)-1].Interval.End,
+			flow: f.ID, seq: seq, size: int64(rem + 0.5),
+			path: f.Path,
+		})
+	}
+	return events
+}

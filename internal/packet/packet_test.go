@@ -1,0 +1,167 @@
+package packet_test
+
+import (
+	"testing"
+
+	"taps/internal/core"
+	"taps/internal/packet"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+func runFluid(t *testing.T, g *topology.Graph, r topology.Routing, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	eng := sim.New(g, r, s, specs, sim.Config{
+		Validate: true, RecordSegments: true, MaxTime: simtime.Time(1e11),
+	})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func smallTree() (*topology.Graph, topology.Routing) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 4, LinkCapacity: topology.Gbps(1),
+	})
+	return g, topology.NewCachedRouting(r)
+}
+
+// pipelineSlack returns the tolerated divergence for a flow: the fluid
+// model has zero per-hop latency, so packets finish up to one MTU
+// serialization per hop later, plus up to another per hop of handover
+// queueing when adjacent slices butt against each other.
+func pipelineSlack(g *topology.Graph, f *sim.Flow, mtu int64) simtime.Time {
+	perHop := sim.DurationFor(float64(mtu), g.Link(f.Path[0]).Capacity)
+	return simtime.Time(2*len(f.Path)+2)*perHop + 2
+}
+
+// TestTAPSPacketLevelMatchesFluid is the headline cross-validation: the
+// TAPS schedule replayed packet by packet completes each flow within a
+// pipeline latency of the fluid finish time, with (near) zero queueing.
+func TestTAPSPacketLevelMatchesFluid(t *testing.T) {
+	g, r := smallTree()
+	specs := workload.Generate(g, workload.Spec{
+		Tasks: 10, MeanFlowsPerTask: 6, MeanFlowSize: 60 * 1024, Seed: 3,
+	})
+	fluid := runFluid(t, g, r, core.New(core.DefaultConfig()), specs)
+	res, err := packet.Replay(g, fluid, packet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, f := range fluid.Flows {
+		if f.State != sim.FlowDone || len(f.Path) == 0 {
+			continue
+		}
+		pf, ok := res.FlowFinish[f.ID]
+		if !ok {
+			t.Fatalf("flow %d not replayed", f.ID)
+		}
+		slack := pipelineSlack(g, f, 1500)
+		if pf < f.Finish-2 || pf > f.Finish+slack {
+			t.Fatalf("flow %d: packet finish %d vs fluid %d (slack %d)",
+				f.ID, pf, f.Finish, slack)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing validated")
+	}
+	// Exclusive slices: queueing stays bounded by a few packet times
+	// (handover between back-to-back slices), never a standing queue.
+	perHop := sim.DurationFor(1500, topology.Gbps(1))
+	for l, d := range res.MaxQueueDelay {
+		if d > 4*perHop {
+			t.Fatalf("link %v queued %d µs under an exclusive schedule", l, d)
+		}
+	}
+}
+
+// TestFairShareReplayBounded: fluid fair sharing replayed with rate-paced
+// packet injection also stays close to the fluid finish times (queues stay
+// bounded because injection never exceeds the fluid rates).
+func TestFairShareReplayBounded(t *testing.T) {
+	g, r := smallTree()
+	specs := workload.Generate(g, workload.Spec{
+		Tasks: 6, MeanFlowsPerTask: 4, MeanFlowSize: 40 * 1024,
+		MeanDeadline: 200 * simtime.Millisecond, Seed: 5,
+	})
+	fluid := runFluid(t, g, r, fairshare.New(), specs)
+	res, err := packet.Replay(g, fluid, packet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fluid.Flows {
+		if f.State != sim.FlowDone || len(f.Path) == 0 {
+			continue
+		}
+		pf := res.FlowFinish[f.ID]
+		// Fair sharing interleaves many flows per link; allow a few
+		// packets' worth of divergence per hop.
+		slack := 4 * pipelineSlack(g, f, 1500)
+		if pf > f.Finish+slack {
+			t.Fatalf("flow %d: packet finish %d far beyond fluid %d", f.ID, pf, f.Finish)
+		}
+	}
+}
+
+func TestReplayRequiresSegments(t *testing.T) {
+	g, r := smallTree()
+	hosts := g.Hosts()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[1], Size: 1000}}}}
+	eng := sim.New(g, r, core.New(core.DefaultConfig()), specs, sim.Config{})
+	fluid, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := packet.Replay(g, fluid, packet.Config{}); err == nil {
+		t.Fatal("expected error without recorded segments")
+	}
+}
+
+func TestPacketCountAndSizes(t *testing.T) {
+	g, r := smallTree()
+	hosts := g.Hosts()
+	// 4000 bytes = 2 full 1500B packets + one 1000B tail.
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[1], Size: 4000}}}}
+	fluid := runFluid(t, g, r, core.New(core.DefaultConfig()), specs)
+	res, err := packet.Replay(g, fluid, packet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 3 {
+		t.Fatalf("packets = %d, want 3", res.Packets)
+	}
+}
+
+func TestPropagationDelayShiftsFinish(t *testing.T) {
+	g, r := smallTree()
+	hosts := g.Hosts()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[15], Size: 3000}}}}
+	fluid := runFluid(t, g, r, core.New(core.DefaultConfig()), specs)
+	base, err := packet.Replay(g, fluid, packet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := packet.Replay(g, fluid, packet.Config{PropagationDelay: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fid sim.FlowID
+	for id := range base.FlowFinish {
+		fid = id
+	}
+	hops := len(fluid.Flows[fid].Path)
+	want := base.FlowFinish[fid] + simtime.Time(hops*10)
+	if delayed.FlowFinish[fid] != want {
+		t.Fatalf("delayed finish = %d, want %d", delayed.FlowFinish[fid], want)
+	}
+}

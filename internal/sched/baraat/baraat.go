@@ -1,0 +1,61 @@
+// Package baraat implements the Baraat baseline (Dogar et al.) as the
+// paper simulates it (§II, §V-A): decentralized task-aware scheduling that
+// is deadline-agnostic.
+//
+// Tasks are prioritized FIFO by arrival order (task serial numbers); flows
+// within a task follow SJF. Flow scheduling is PDQ-like: the most critical
+// flow on every link of its path transmits at line rate, others are
+// paused. Because Baraat ignores deadlines when *prioritizing*, urgent
+// late-arriving tasks queue behind earlier ones and miss — and the bytes
+// already carried for them are wasted, which is why Baraat's
+// wasted-bandwidth ratio is the highest of the non-Fair-Sharing schemes in
+// Fig. 8(b).
+//
+// Like the paper's simulator (whose Fig. 8(b) scale caps near 1.5%), the
+// transport stops carrying a flow once its deadline has already passed; set
+// KeepExpired for the fully-oblivious variant that transmits to completion.
+package baraat
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+// Scheduler is the Baraat policy. The zero value is ready to use.
+type Scheduler struct {
+	sim.NopHooks
+	// KeepExpired keeps transmitting flows past their deadlines
+	// (ablation; the evaluation default stops them).
+	KeepExpired bool
+}
+
+// New returns the paper's Baraat baseline.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "Baraat" }
+
+// OnDeadlineMissed stops an expired flow unless KeepExpired is set.
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	if !s.KeepExpired {
+		st.KillFlow(f, "deadline missed")
+	}
+}
+
+// Rates implements sim.Scheduler.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	// FIFO across tasks (task IDs are assigned in arrival order), SJF
+	// within a task.
+	sched.SortFlows(flows, func(a, b *sim.Flow) bool {
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Remaining() != b.Remaining() {
+			return a.Remaining() < b.Remaining()
+		}
+		return a.ID < b.ID
+	})
+	return sched.ExclusiveGreedy(st.Graph(), flows), simtime.Infinity
+}

@@ -1,0 +1,132 @@
+package baraat_test
+
+import (
+	"testing"
+
+	"taps/internal/sched/baraat"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, baraat.New(), specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFIFOAcrossTasks(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		// Task 0 arrives first and is served first even though task 1 is
+		// far more urgent — Baraat is deadline-agnostic.
+		{Arrival: 0, Deadline: 100 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+		{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	res := run(t, specs)
+	if res.Flows[0].Finish != 3*simtime.Millisecond {
+		t.Fatalf("task0 finish = %d", res.Flows[0].Finish)
+	}
+	// The urgent flow never gets the link before its 1 ms deadline and is
+	// dropped there without having sent a byte.
+	f := res.Flows[1]
+	if f.State != sim.FlowKilled || f.Finish != 1*simtime.Millisecond {
+		t.Fatalf("urgent flow: state=%v finish=%d", f.State, f.Finish)
+	}
+	if f.BytesSent != 0 {
+		t.Fatalf("urgent flow sent %g bytes while queued", f.BytesSent)
+	}
+}
+
+func TestSJFWithinTask(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 100 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 3000},
+			{Src: a, Dst: b, Size: 1000},
+		}}}
+	res := run(t, specs)
+	if res.Flows[1].Finish != 1*simtime.Millisecond {
+		t.Fatalf("small-first violated: %d", res.Flows[1].Finish)
+	}
+}
+
+// TestStopsExpiredFlows: the evaluation default stops carrying a flow once
+// its deadline passed; the bytes already sent are wasted.
+func TestStopsExpiredFlows(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 5000}}}}
+	res := run(t, specs)
+	f := res.Flows[0]
+	if f.State != sim.FlowKilled || f.Finish != 1*simtime.Millisecond {
+		t.Fatalf("state=%v finish=%d", f.State, f.Finish)
+	}
+	if f.BytesSent < 999 || f.BytesSent > 1001 {
+		t.Fatalf("sent = %g", f.BytesSent)
+	}
+}
+
+// TestKeepExpiredAblation: the fully deadline-oblivious variant transmits
+// to completion.
+func TestKeepExpiredAblation(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 5000}}}}
+	g, r, _, _ := pair()
+	s := baraat.New()
+	s.KeepExpired = true
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.State != sim.FlowDone || f.Finish != 5*simtime.Millisecond {
+		t.Fatalf("state=%v finish=%d", f.State, f.Finish)
+	}
+	if f.OnTime() {
+		t.Fatal("flow is late")
+	}
+}
+
+func TestLaterTaskWaitsEntirely(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: simtime.Second, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 2000},
+			{Src: a, Dst: b, Size: 2000},
+		}},
+		{Arrival: 0, Deadline: simtime.Second, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+		}},
+	}
+	res := run(t, specs)
+	// Task 0's two flows serialize over [0,4); task 1 starts only after.
+	if res.Flows[2].Finish != 5*simtime.Millisecond {
+		t.Fatalf("later task finish = %d", res.Flows[2].Finish)
+	}
+}
+
+func TestName(t *testing.T) {
+	if baraat.New().Name() != "Baraat" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,133 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"taps/internal/sched"
+	"taps/internal/sched/baraat"
+	"taps/internal/sched/d3"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sched/pdq"
+	"taps/internal/sched/varys"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+func benchTopo() (*topology.Graph, topology.Routing) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 4, RacksPerPod: 4, HostsPerRack: 10, LinkCapacity: topology.Gbps(1),
+	})
+	return g, topology.NewCachedRouting(r)
+}
+
+// captureFlows materializes n active flows with assigned paths.
+func captureFlows(b *testing.B, g *topology.Graph, r topology.Routing, n int) []*sim.Flow {
+	b.Helper()
+	hosts := g.Hosts()
+	var flows []sim.FlowSpec
+	for i := 0; i < n; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i*7+3)%len(hosts)]
+		if src == dst {
+			dst = hosts[(i+1)%len(hosts)]
+		}
+		flows = append(flows, sim.FlowSpec{Src: src, Dst: dst, Size: int64(1000 + i)})
+	}
+	cs := &benchCapture{}
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: simtime.Second, Flows: flows[:n/2]},
+		{Arrival: 0, Deadline: simtime.Second, Flows: flows[n/2:]},
+	}
+	eng := sim.New(g, r, cs, specs, sim.Config{})
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return cs.flows
+}
+
+type benchCapture struct {
+	sim.NopHooks
+	flows []*sim.Flow
+}
+
+func (c *benchCapture) Name() string { return "capture" }
+
+func (c *benchCapture) OnTaskArrival(st *sim.State, task *sim.Task) {
+	if int(task.ID) != 1 {
+		return
+	}
+	c.flows = st.ActiveFlows()
+	for _, f := range c.flows {
+		st.KillFlow(f, "captured")
+	}
+}
+
+func (c *benchCapture) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	return nil, simtime.Infinity
+}
+
+func BenchmarkMaxMinFair(b *testing.B) {
+	g, r := benchTopo()
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			flows := captureFlows(b, g, r, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.MaxMinFair(g, flows)
+			}
+		})
+	}
+}
+
+func BenchmarkExclusiveGreedy(b *testing.B) {
+	g, r := benchTopo()
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			flows := captureFlows(b, g, r, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.ExclusiveGreedy(g, flows)
+			}
+		})
+	}
+}
+
+func BenchmarkSortFlows(b *testing.B) {
+	g, r := benchTopo()
+	flows := captureFlows(b, g, r, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.SortFlows(flows, sched.EDFSJFLess)
+	}
+}
+
+// BenchmarkBaselineRuns measures a full simulation per baseline on a
+// shared small workload.
+func BenchmarkBaselineRuns(b *testing.B) {
+	g, r := benchTopo()
+	specs := workload.Generate(g, workload.Spec{Tasks: 12, MeanFlowsPerTask: 20, Seed: 1})
+	mks := map[string]func() sim.Scheduler{
+		"FairSharing": func() sim.Scheduler { return fairshare.New() },
+		"D3":          func() sim.Scheduler { return d3.New() },
+		"PDQ":         func() sim.Scheduler { return pdq.New() },
+		"Baraat":      func() sim.Scheduler { return baraat.New() },
+		"Varys":       func() sim.Scheduler { return varys.New() },
+	}
+	for _, name := range []string{"FairSharing", "D3", "PDQ", "Baraat", "Varys"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.New(g, r, mks[name](), specs, sim.Config{})
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

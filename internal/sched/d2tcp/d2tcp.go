@@ -1,0 +1,148 @@
+// Package d2tcp implements D2TCP (Vamanan et al., SIGCOMM'12) as an
+// extension baseline beyond the paper's evaluated set (§II cites it as
+// related deadline-aware work). D2TCP is DCTCP with deadline-aware
+// congestion avoidance: a flow's aggressiveness is gamma-corrected by its
+// urgency d = p^(1/γ), where γ grows as the deadline tightens, so urgent
+// flows back off less and grab more of a congested link.
+//
+// In the fluid model this becomes urgency-weighted max-min sharing:
+// every flow's weight is the ratio of the rate it needs to meet its
+// deadline to its fair share — urgent flows weigh more, slack flows less.
+// Like the other TCP-family baselines, expired flows stop transmitting.
+package d2tcp
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Scheduler is the D2TCP policy. The zero value is ready to use.
+type Scheduler struct {
+	sim.NopHooks
+	// MaxWeight clamps the urgency weight (default 4, mirroring the
+	// bounded γ of the protocol). Zero uses the default.
+	MaxWeight float64
+}
+
+// New returns the D2TCP extension baseline.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "D2TCP" }
+
+// OnDeadlineMissed stops an expired flow.
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	st.KillFlow(f, "deadline missed")
+}
+
+// Rates implements sim.Scheduler with urgency-weighted progressive
+// filling.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	maxW := s.MaxWeight
+	if maxW <= 0 {
+		maxW = 4
+	}
+	weights := make(map[sim.FlowID]float64, len(flows))
+	now := st.Now()
+	for _, f := range flows {
+		weights[f.ID] = urgencyWeight(st, f, now, maxW)
+	}
+	return weightedMaxMin(st.Graph(), flows, weights), simtime.Infinity
+}
+
+// urgencyWeight compares the rate the flow needs against an equal share of
+// its bottleneck: weight 1 means "fair share exactly suffices".
+func urgencyWeight(st *sim.State, f *sim.Flow, now simtime.Time, maxW float64) float64 {
+	ttd := f.Deadline - now
+	if ttd <= 0 {
+		return maxW
+	}
+	need := sched.DeadlineRate(f.Remaining(), ttd)
+	capac := st.Graph().MinCapacity(f.Path)
+	if capac <= 0 {
+		return 1
+	}
+	// Count competitors on the flow's first link as the congestion
+	// estimate (the sender's view of its bottleneck).
+	n := 1
+	for _, other := range st.ActiveFlows() {
+		if other.ID == f.ID {
+			continue
+		}
+		for _, l := range other.Path {
+			if len(f.Path) > 0 && l == f.Path[0] {
+				n++
+				break
+			}
+		}
+	}
+	fairShare := capac / float64(n)
+	w := need / fairShare
+	if w < 0.25 {
+		w = 0.25
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// weightedMaxMin is progressive filling where a flow receives weight-many
+// shares of each bottleneck.
+func weightedMaxMin(g *topology.Graph, flows []*sim.Flow, weights map[sim.FlowID]float64) sim.RateMap {
+	rates := make(sim.RateMap, len(flows))
+	flowsOn := make(map[topology.LinkID][]*sim.Flow)
+	remainingCap := make(map[topology.LinkID]float64)
+	unfrozen := make(map[sim.FlowID]*sim.Flow, len(flows))
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		unfrozen[f.ID] = f
+		for _, l := range f.Path {
+			flowsOn[l] = append(flowsOn[l], f)
+			remainingCap[l] = g.Link(l).Capacity
+		}
+	}
+	for len(unfrozen) > 0 {
+		var bottleneck topology.LinkID
+		perWeight := -1.0
+		found := false
+		for l, fs := range flowsOn {
+			var w float64
+			for _, f := range fs {
+				if _, ok := unfrozen[f.ID]; ok {
+					w += weights[f.ID]
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			s := remainingCap[l] / w
+			if !found || s < perWeight || (s == perWeight && l < bottleneck) {
+				bottleneck, perWeight, found = l, s, true
+			}
+		}
+		if !found {
+			break
+		}
+		for _, f := range flowsOn[bottleneck] {
+			if _, ok := unfrozen[f.ID]; !ok {
+				continue
+			}
+			r := perWeight * weights[f.ID]
+			rates[f.ID] = r
+			delete(unfrozen, f.ID)
+			for _, l := range f.Path {
+				remainingCap[l] -= r
+				if remainingCap[l] < 0 {
+					remainingCap[l] = 0
+				}
+			}
+		}
+	}
+	return rates
+}

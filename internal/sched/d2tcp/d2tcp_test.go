@@ -1,0 +1,98 @@
+package d2tcp_test
+
+import (
+	"testing"
+
+	"taps/internal/sched/d2tcp"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSoloFlowFullRate(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}}}
+	res := run(t, d2tcp.New(), specs)
+	if res.Flows[0].Finish != 3*simtime.Millisecond {
+		t.Fatalf("finish = %d", res.Flows[0].Finish)
+	}
+}
+
+// TestUrgentFlowGetsMoreBandwidth is the D2TCP property: with one urgent
+// and one slack flow sharing a link, the urgent one finishes earlier than
+// under plain fair sharing.
+func TestUrgentFlowGetsMoreBandwidth(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 100 * simtime.Millisecond, // slack
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 4000}}},
+		{Arrival: 0, Deadline: 5 * simtime.Millisecond, // urgent: needs 4/5 of the link
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 4000}}},
+	}
+	d2 := run(t, d2tcp.New(), specs)
+	fs := run(t, fairshare.New(), specs)
+	if !d2.Flows[1].OnTime() {
+		t.Fatalf("urgent flow missed under D2TCP: finish=%d", d2.Flows[1].Finish)
+	}
+	if fs.Flows[1].OnTime() {
+		t.Fatal("instance too easy: fair sharing also saved the urgent flow")
+	}
+	if d2.Flows[1].Finish >= fs.Flows[1].Finish {
+		t.Fatalf("D2TCP should finish the urgent flow earlier: %d vs %d",
+			d2.Flows[1].Finish, fs.Flows[1].Finish)
+	}
+}
+
+func TestExpiredFlowStops(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 9000}}}}
+	res := run(t, d2tcp.New(), specs)
+	if res.Flows[0].State != sim.FlowKilled {
+		t.Fatalf("state = %v", res.Flows[0].State)
+	}
+}
+
+func TestWeightsNeverOversubscribe(t *testing.T) {
+	// Validate:true in run() checks every event's allocation against
+	// link capacities; a weighting bug would trip it.
+	_, _, a, b := pair()
+	var flows []sim.FlowSpec
+	for i := 0; i < 8; i++ {
+		flows = append(flows, sim.FlowSpec{Src: a, Dst: b, Size: int64(500 + 300*i)})
+	}
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 6 * simtime.Millisecond, Flows: flows[:4]},
+		{Arrival: 2 * simtime.Millisecond, Deadline: 4 * simtime.Millisecond, Flows: flows[4:]},
+	}
+	run(t, d2tcp.New(), specs)
+}
+
+func TestName(t *testing.T) {
+	if d2tcp.New().Name() != "D2TCP" {
+		t.Fatal("name")
+	}
+}

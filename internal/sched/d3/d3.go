@@ -1,0 +1,81 @@
+// Package d3 implements the D3 baseline (Wilson et al., SIGCOMM'11) as the
+// paper simulates it (§II, §V-A): a deadline-aware but task-agnostic
+// centralized rate allocator that serves flows in FCFS arrival order. Each
+// flow requests rate r = remaining/(deadline - now); requests are granted
+// greedily along the flow's path in arrival order, and leftover capacity is
+// then handed out, again in arrival order. Because allocation is FCFS,
+// large flows that arrived early can hold the bottleneck and block later,
+// more urgent flows — the failure mode TAPS's motivation example (Fig. 1c)
+// illustrates.
+//
+// Like Fair Sharing, D3 stops transmitting flows that already missed their
+// deadlines (§V-A).
+package d3
+
+import (
+	"sort"
+
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+// Scheduler is the D3 policy. The zero value is ready to use.
+type Scheduler struct {
+	sim.NopHooks
+}
+
+// New returns the paper's D3 baseline.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "D3" }
+
+// OnDeadlineMissed stops an expired flow.
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	st.KillFlow(f, "deadline missed")
+}
+
+// Rates implements sim.Scheduler.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	// FCFS: earlier arrival first; flow ID breaks ties (IDs are assigned
+	// in arrival order).
+	sort.SliceStable(flows, func(i, j int) bool {
+		if flows[i].Arrival != flows[j].Arrival {
+			return flows[i].Arrival < flows[j].Arrival
+		}
+		return flows[i].ID < flows[j].ID
+	})
+	res := sched.NewResidual(st.Graph())
+	rates := make(sim.RateMap, len(flows))
+	now := st.Now()
+	// Pass 1: grant the deadline-derived request.
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		ttd := f.Deadline - now
+		if ttd <= 0 {
+			continue // expired; OnDeadlineMissed will kill it
+		}
+		want := sched.DeadlineRate(f.Remaining(), ttd)
+		grant := min(want, res.Along(f.Path))
+		if grant > 0 {
+			res.Commit(f.Path, grant)
+			rates[f.ID] = grant
+		}
+	}
+	// Pass 2: hand out leftover capacity in the same order.
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		extra := res.Along(f.Path)
+		if extra > 0 {
+			res.Commit(f.Path, extra)
+			rates[f.ID] += extra
+		}
+	}
+	return rates, simtime.Infinity
+}

@@ -1,0 +1,116 @@
+package d3_test
+
+import (
+	"testing"
+
+	"taps/internal/sched/d3"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, d3.New(), specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSoloFlowMeetsDeadline(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 4 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 2000}}}}
+	res := run(t, specs)
+	if !res.Flows[0].OnTime() {
+		t.Fatalf("solo flow should meet deadline, finish=%d", res.Flows[0].Finish)
+	}
+}
+
+// TestFCFSBlocksLaterFlows reproduces the D3 pathology of Fig. 1(c): an
+// early large flow occupies the bottleneck and blocks later flows even
+// when global scheduling could have saved them.
+func TestFCFSBlocksLaterFlows(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		// Early task: two flows wanting 2/4 and 4/4 of the link.
+		{Arrival: 0, Deadline: 4 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 2000},
+			{Src: a, Dst: b, Size: 4000},
+		}},
+		// Later task: small urgent flows; FCFS leaves them nothing.
+		{Arrival: 0, Deadline: 4 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 3000},
+		}},
+	}
+	res := run(t, specs)
+	onTime := 0
+	for _, f := range res.Flows {
+		if f.OnTime() {
+			onTime++
+		}
+	}
+	if onTime != 1 {
+		t.Fatalf("paper's Fig. 1(c): exactly 1 flow completes under D3, got %d", onTime)
+	}
+	if !res.Flows[0].OnTime() {
+		t.Fatal("the early requester (f11) should be the one that completes")
+	}
+}
+
+func TestExpiredFlowStops(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 9000}}}}
+	res := run(t, specs)
+	f := res.Flows[0]
+	if f.State != sim.FlowKilled {
+		t.Fatalf("state = %v", f.State)
+	}
+	if f.Finish != 1*simtime.Millisecond {
+		t.Fatalf("kill at %d", f.Finish)
+	}
+}
+
+// TestLeftoverGoesToEarlierArrivals: two flows, the first needs little,
+// the second gets the leftovers; both can finish early.
+func TestLeftoverDistribution(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000}, // wants 100 B/ms
+			{Src: a, Dst: b, Size: 1000}, // wants 100 B/ms, leftover -> line rate share
+		}}}
+	res := run(t, specs)
+	// Pass 1 grants ~100 B/ms each; pass 2 gives flow0 the remaining
+	// ~800 B/ms. Flow0 finishes quickly, then flow1 accelerates. Both
+	// must finish well before 10 ms.
+	for _, f := range res.Flows {
+		if !f.OnTime() {
+			t.Fatalf("flow %d missed: finish=%d", f.ID, f.Finish)
+		}
+		if f.Finish > 3*simtime.Millisecond {
+			t.Fatalf("flow %d too slow: finish=%d (leftover not distributed?)", f.ID, f.Finish)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if d3.New().Name() != "D3" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,43 @@
+// Package fairshare implements the Fair Sharing baseline of §V-A: a
+// task- and deadline-agnostic transport in which every flow competing for a
+// bottleneck link receives a max-min fair share of the capacity (the TCP /
+// RCP idealization the paper compares against).
+//
+// As specified in §V-A, flows that have already missed their deadlines stop
+// transmitting so that provably useless packets are not sent; the bytes
+// they carried up to that point still count as wasted bandwidth.
+package fairshare
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+// Scheduler is the Fair Sharing policy. The zero value is ready to use.
+type Scheduler struct {
+	sim.NopHooks
+	// KeepExpired, when set, lets flows keep transmitting after their
+	// deadlines (pure TCP behaviour, no useless-transmission avoidance).
+	// The paper's variant stops them; this knob exists for ablations.
+	KeepExpired bool
+}
+
+// New returns the paper's Fair Sharing baseline.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "FairSharing" }
+
+// OnDeadlineMissed stops an expired flow (§V-A: no more packets are sent
+// from flows that already missed their deadlines).
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	if !s.KeepExpired {
+		st.KillFlow(f, "deadline missed")
+	}
+}
+
+// Rates implements sim.Scheduler with max-min fair progressive filling.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	return sched.MaxMinFair(st.Graph(), st.ActiveFlows()), simtime.Infinity
+}

@@ -1,0 +1,122 @@
+package fairshare_test
+
+import (
+	"testing"
+
+	"taps/internal/metrics"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	// pair() is deterministic, so node IDs in specs match this graph.
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEqualSplit(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 1000},
+		}}}
+	res := run(t, fairshare.New(), specs)
+	// Each at 500 B/ms -> both done at 2 ms.
+	for _, f := range res.Flows {
+		if f.Finish != 2*simtime.Millisecond {
+			t.Errorf("flow %d finish = %d", f.ID, f.Finish)
+		}
+	}
+}
+
+func TestSoloFlowGetsFullRate(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}}}
+	res := run(t, fairshare.New(), specs)
+	if res.Flows[0].Finish != 3*simtime.Millisecond {
+		t.Fatalf("finish = %d", res.Flows[0].Finish)
+	}
+}
+
+func TestExpiredFlowIsStopped(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 5000}}}}
+	res := run(t, fairshare.New(), specs)
+	f := res.Flows[0]
+	if f.State != sim.FlowKilled || f.Finish != 1*simtime.Millisecond {
+		t.Fatalf("expired flow: state=%v finish=%d", f.State, f.Finish)
+	}
+	// ~1000 bytes were carried and wasted.
+	sum := metrics.Summarize(res)
+	if sum.WastedBytes < 999 || sum.WastedBytes > 1001 {
+		t.Fatalf("wasted = %g", sum.WastedBytes)
+	}
+}
+
+func TestKeepExpiredAblation(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 5000}}}}
+	s := fairshare.New()
+	s.KeepExpired = true
+	res := run(t, s, specs)
+	f := res.Flows[0]
+	if f.State != sim.FlowDone {
+		t.Fatalf("KeepExpired flow should complete late, state=%v", f.State)
+	}
+	if f.OnTime() {
+		t.Fatal("must not be on time")
+	}
+	// All 5000 bytes were carried; all wasted.
+	sum := metrics.Summarize(res)
+	if sum.WastedBytes < 4999 {
+		t.Fatalf("wasted = %g", sum.WastedBytes)
+	}
+}
+
+// TestLateFlowsDontSlowEarlyOnes is the core fairness pathology the paper
+// attacks: under fair sharing, many concurrent flows all slow each other
+// down and deadlines cascade. With 4 equal flows of 1000 bytes, deadline
+// 2.5 ms, all four share 250 B/ms and all miss except... none: they all
+// complete at 4 ms, past the 2.5 ms deadline once the kill logic fires.
+func TestFairSharingCascadeMiss(t *testing.T) {
+	_, _, a, b := pair()
+	var flows []sim.FlowSpec
+	for i := 0; i < 4; i++ {
+		flows = append(flows, sim.FlowSpec{Src: a, Dst: b, Size: 1000})
+	}
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 2500, Flows: flows}}
+	res := run(t, fairshare.New(), specs)
+	sum := metrics.Summarize(res)
+	if sum.FlowsOnTime != 0 {
+		t.Fatalf("all flows should miss under fair sharing, got %d on time", sum.FlowsOnTime)
+	}
+	// A serializing scheduler would have finished 2 of the 4 by 2.5 ms.
+}
+
+func TestName(t *testing.T) {
+	if fairshare.New().Name() != "FairSharing" {
+		t.Fatal("name")
+	}
+}

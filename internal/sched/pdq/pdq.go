@@ -1,0 +1,114 @@
+// Package pdq implements the PDQ baseline (Hong et al., SIGCOMM'12) as the
+// paper simulates it (§V-A): deadline-aware preemptive distributed flow
+// scheduling with Early Termination.
+//
+// Criticality is EDF with SJF (remaining size) tie-break. A flow transmits
+// at full line rate iff it is the most critical flow on every link of its
+// path — i.e. no switch on the path pauses it; otherwise it is paused.
+// Early Termination kills any flow that can no longer finish before its
+// deadline even at line rate. Suppressed Probing and Early Start are
+// buffer-level mechanisms and are omitted, exactly as in §V-A.
+//
+// An optional per-switch flow-list capacity reproduces the pausing
+// behaviour of the paper's global-scheduling motivation example (Fig. 3):
+// a switch only tracks its MaxList most critical flows and pauses the rest.
+package pdq
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Scheduler is the PDQ policy. The zero value is ready to use.
+type Scheduler struct {
+	sim.NopHooks
+	// MaxList bounds the per-switch (per-link) flow list; 0 = unlimited.
+	MaxList int
+	// NoEarlyTermination disables ET for ablations.
+	NoEarlyTermination bool
+}
+
+// New returns the paper's PDQ baseline (with Early Termination, unlimited
+// flow lists).
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "PDQ" }
+
+// OnDeadlineMissed kills a flow that reached its deadline unfinished
+// (Early Termination would have caught it first in almost all cases).
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	st.KillFlow(f, "deadline missed")
+}
+
+// Rates implements sim.Scheduler.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	sched.SortFlows(flows, sched.EDFSJFLess)
+	now := st.Now()
+
+	if !s.NoEarlyTermination {
+		kept := flows[:0]
+		for _, f := range flows {
+			capac := st.Graph().MinCapacity(f.Path)
+			if capac <= 0 {
+				kept = append(kept, f)
+				continue
+			}
+			if now+sim.DurationFor(f.Remaining(), capac) > f.Deadline {
+				st.KillFlow(f, "early termination")
+				continue
+			}
+			kept = append(kept, f)
+		}
+		flows = kept
+	}
+
+	// Per-switch flow-list pausing: a flow is eligible only if every link
+	// of its path has list room for it (flows are examined in
+	// criticality order, so list slots go to the most critical flows).
+	eligible := flows
+	if s.MaxList > 0 {
+		listLoad := make(map[topology.LinkID]int)
+		eligible = make([]*sim.Flow, 0, len(flows))
+		for _, f := range flows {
+			fits := true
+			for _, l := range f.Path {
+				if listLoad[l] >= s.MaxList {
+					fits = false
+					break
+				}
+			}
+			for _, l := range f.Path {
+				listLoad[l]++
+			}
+			if fits {
+				eligible = append(eligible, f)
+			}
+		}
+	}
+
+	rates := sched.ExclusiveGreedy(st.Graph(), eligible)
+
+	// Horizon: a paused flow must be re-examined (and early-terminated)
+	// the instant its slack runs out.
+	horizon := simtime.Infinity
+	if !s.NoEarlyTermination {
+		for _, f := range flows {
+			if rates[f.ID] > 0 {
+				continue
+			}
+			capac := st.Graph().MinCapacity(f.Path)
+			if capac <= 0 {
+				continue
+			}
+			deadLine := f.Deadline - sim.DurationFor(f.Remaining(), capac)
+			if deadLine+1 > now {
+				horizon = min(horizon, deadLine+1)
+			}
+		}
+	}
+	return rates, horizon
+}

@@ -1,0 +1,170 @@
+package pdq_test
+
+import (
+	"testing"
+
+	"taps/internal/sched/pdq"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMostCriticalRunsAtLineRate(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+		{Arrival: 0, Deadline: 2 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	res := run(t, pdq.New(), specs)
+	// The urgent flow (deadline 2 ms) preempts and finishes at 1 ms; the
+	// relaxed flow resumes and finishes at 4 ms.
+	if res.Flows[1].Finish != 1*simtime.Millisecond {
+		t.Fatalf("urgent finish = %d", res.Flows[1].Finish)
+	}
+	if res.Flows[0].Finish != 4*simtime.Millisecond {
+		t.Fatalf("relaxed finish = %d", res.Flows[0].Finish)
+	}
+	if !res.Flows[0].OnTime() || !res.Flows[1].OnTime() {
+		t.Fatal("both should be on time")
+	}
+}
+
+func TestEarlyTerminationKillsInfeasible(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		// Critical flow occupies the link for 3 ms.
+		{Arrival: 0, Deadline: 3 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+		// This one needs 3 ms of the 4 ms budget; it becomes infeasible
+		// at t = 1 ms while paused and must be early-terminated then —
+		// not at its 4 ms deadline.
+		{Arrival: 0, Deadline: 4 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+	}
+	res := run(t, pdq.New(), specs)
+	f := res.Flows[1]
+	if f.State != sim.FlowKilled {
+		t.Fatalf("state = %v", f.State)
+	}
+	if f.KillNote != "early termination" {
+		t.Fatalf("kill note = %q", f.KillNote)
+	}
+	if f.Finish > 1*simtime.Millisecond+2 {
+		t.Fatalf("ET fired at %d, want ~1 ms", f.Finish)
+	}
+	// The paused flow never transmitted: zero wasted bytes.
+	if f.BytesSent != 0 {
+		t.Fatalf("paused flow sent %g bytes", f.BytesSent)
+	}
+}
+
+func TestNoEarlyTerminationAblation(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 3 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+		{Arrival: 0, Deadline: 4 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 3000}}},
+	}
+	s := pdq.New()
+	s.NoEarlyTermination = true
+	res := run(t, s, specs)
+	f := res.Flows[1]
+	// Without ET the flow is only killed at its deadline (4 ms), after
+	// having wasted 1 ms of line-rate transmission.
+	if f.State != sim.FlowKilled || f.Finish != 4*simtime.Millisecond {
+		t.Fatalf("state=%v finish=%d", f.State, f.Finish)
+	}
+	if f.BytesSent < 999 {
+		t.Fatalf("expected wasted transmission, sent=%g", f.BytesSent)
+	}
+}
+
+func TestSJFTieBreakOnEqualDeadlines(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 3000},
+			{Src: a, Dst: b, Size: 1000},
+		}}}
+	res := run(t, pdq.New(), specs)
+	// SJF: the 1000-byte flow goes first.
+	if res.Flows[1].Finish != 1*simtime.Millisecond {
+		t.Fatalf("small flow finish = %d", res.Flows[1].Finish)
+	}
+	if res.Flows[0].Finish != 4*simtime.Millisecond {
+		t.Fatalf("large flow finish = %d", res.Flows[0].Finish)
+	}
+}
+
+func TestMaxListPausesOverflow(t *testing.T) {
+	_, _, a, b := pair()
+	// Two flows, same link. MaxList=1: only the most critical is known
+	// to the switch; the other is paused even though it could have
+	// queued behind. With list room it would finish at 2 ms.
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+		{Arrival: 0, Deadline: 20 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	s := pdq.New()
+	s.MaxList = 1
+	res := run(t, s, specs)
+	if !res.Flows[0].OnTime() {
+		t.Fatal("listed flow should complete")
+	}
+	// The second flow enters the list after the first finishes, then
+	// completes at 2 ms.
+	if res.Flows[1].Finish != 2*simtime.Millisecond {
+		t.Fatalf("overflow flow finish = %d", res.Flows[1].Finish)
+	}
+}
+
+func TestPreemptionBySmallerRemaining(t *testing.T) {
+	_, _, a, b := pair()
+	// Flow 0 starts alone; at 1 ms flow 1 arrives with the same deadline
+	// but smaller remaining -> preempts.
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 5000}}},
+		{Arrival: 1 * simtime.Millisecond, Deadline: 9 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	res := run(t, pdq.New(), specs)
+	if res.Flows[1].Finish != 2*simtime.Millisecond {
+		t.Fatalf("preempting flow finish = %d", res.Flows[1].Finish)
+	}
+	if res.Flows[0].Finish != 6*simtime.Millisecond {
+		t.Fatalf("preempted flow finish = %d", res.Flows[0].Finish)
+	}
+}
+
+func TestName(t *testing.T) {
+	if pdq.New().Name() != "PDQ" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,190 @@
+// Package sched provides building blocks shared by the baseline schedulers
+// of the paper's evaluation: priority comparators (EDF, SJF), exclusive
+// line-rate greedy allocation (the "at most one flow per link" discipline
+// of PDQ/Baraat/TAPS), and max-min fair progressive filling.
+package sched
+
+import (
+	"sort"
+
+	"taps/internal/sim"
+	"taps/internal/topology"
+)
+
+// EDFSJFLess orders flows by earliest absolute deadline, breaking ties by
+// smallest remaining bytes, then by flow ID for determinism. This is the
+// EDF+SJF discipline of §IV-A.
+func EDFSJFLess(a, b *sim.Flow) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Remaining() != b.Remaining() {
+		return a.Remaining() < b.Remaining()
+	}
+	return a.ID < b.ID
+}
+
+// SJFLess orders flows by smallest remaining bytes, then ID.
+func SJFLess(a, b *sim.Flow) bool {
+	if a.Remaining() != b.Remaining() {
+		return a.Remaining() < b.Remaining()
+	}
+	return a.ID < b.ID
+}
+
+// EDFLess orders flows by earliest deadline, then ID.
+func EDFLess(a, b *sim.Flow) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.ID < b.ID
+}
+
+// SortFlows sorts flows in place by the given comparator.
+func SortFlows(flows []*sim.Flow, less func(a, b *sim.Flow) bool) {
+	sort.SliceStable(flows, func(i, j int) bool { return less(flows[i], flows[j]) })
+}
+
+// DeadlineRate returns the rate (bytes/second) that delivers `remaining`
+// bytes strictly within `ttd` microseconds. It targets ttd-1 µs so that the
+// engine's ceil-to-microsecond completion rounding cannot push the finish
+// past the deadline.
+func DeadlineRate(remaining float64, ttd int64) float64 {
+	if ttd > 1 {
+		ttd--
+	}
+	if ttd <= 0 {
+		return 0
+	}
+	return remaining / (float64(ttd) / 1e6)
+}
+
+// Residual tracks the uncommitted capacity of every link during an
+// allocation pass. The zero value is unusable; use NewResidual.
+type Residual struct {
+	g    *topology.Graph
+	used map[topology.LinkID]float64
+}
+
+// NewResidual returns a tracker with all links fully free.
+func NewResidual(g *topology.Graph) *Residual {
+	return &Residual{g: g, used: make(map[topology.LinkID]float64)}
+}
+
+// Along returns the smallest residual capacity along the path
+// (+Inf-like large value for an empty path is not needed: callers skip
+// src==dst flows).
+func (r *Residual) Along(p topology.Path) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	m := r.g.Link(p[0]).Capacity - r.used[p[0]]
+	for _, l := range p[1:] {
+		if c := r.g.Link(l).Capacity - r.used[l]; c < m {
+			m = c
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Free reports whether every link of the path is completely unused.
+func (r *Residual) Free(p topology.Path) bool {
+	for _, l := range p {
+		if r.used[l] > 0 {
+			return false
+		}
+	}
+	return len(p) > 0
+}
+
+// Commit reserves rate on every link of the path.
+func (r *Residual) Commit(p topology.Path, rate float64) {
+	for _, l := range p {
+		r.used[l] += rate
+	}
+}
+
+// ExclusiveGreedy walks flows in the given order and grants each flow the
+// full capacity of its path iff every link of the path is still untouched;
+// otherwise the flow is paused (rate 0). This realizes the preemptive
+// "one flow per link at line rate" discipline shared by PDQ, Baraat and
+// TAPS (§IV-A): a flow transmits only when it is the most critical flow on
+// every link of its path.
+func ExclusiveGreedy(g *topology.Graph, ordered []*sim.Flow) sim.RateMap {
+	res := NewResidual(g)
+	rates := make(sim.RateMap, len(ordered))
+	for _, f := range ordered {
+		if len(f.Path) == 0 {
+			continue
+		}
+		if res.Free(f.Path) {
+			rate := g.MinCapacity(f.Path)
+			res.Commit(f.Path, rate)
+			rates[f.ID] = rate
+		}
+	}
+	return rates
+}
+
+// MaxMinFair computes the max-min fair allocation (progressive filling) for
+// the flows over their paths: repeatedly find the most loaded bottleneck
+// link, give its flows an equal share, freeze them, and continue.
+func MaxMinFair(g *topology.Graph, flows []*sim.Flow) sim.RateMap {
+	rates := make(sim.RateMap, len(flows))
+	// flowsOn[l] = unfrozen flows crossing link l.
+	flowsOn := make(map[topology.LinkID][]*sim.Flow)
+	remainingCap := make(map[topology.LinkID]float64)
+	unfrozen := make(map[sim.FlowID]*sim.Flow, len(flows))
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		unfrozen[f.ID] = f
+		for _, l := range f.Path {
+			flowsOn[l] = append(flowsOn[l], f)
+			remainingCap[l] = g.Link(l).Capacity
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: smallest fair share.
+		var bottleneck topology.LinkID
+		share := -1.0
+		found := false
+		for l, fs := range flowsOn {
+			n := 0
+			for _, f := range fs {
+				if _, ok := unfrozen[f.ID]; ok {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			s := remainingCap[l] / float64(n)
+			if !found || s < share || (s == share && l < bottleneck) {
+				bottleneck, share, found = l, s, true
+			}
+		}
+		if !found {
+			break
+		}
+		// Freeze every unfrozen flow on the bottleneck at the share.
+		for _, f := range flowsOn[bottleneck] {
+			if _, ok := unfrozen[f.ID]; !ok {
+				continue
+			}
+			rates[f.ID] = share
+			delete(unfrozen, f.ID)
+			for _, l := range f.Path {
+				remainingCap[l] -= share
+				if remainingCap[l] < 0 {
+					remainingCap[l] = 0
+				}
+			}
+		}
+	}
+	return rates
+}

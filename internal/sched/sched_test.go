@@ -1,0 +1,241 @@
+package sched_test
+
+import (
+	"testing"
+
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// line builds a 3-host chain a-s1-s2-b plus c under s2, so paths can
+// partially overlap: a->b uses s1-s2, c->b shares s2->b.
+func line() (*topology.Graph, topology.Routing, []topology.NodeID) {
+	g := topology.NewGraph()
+	s1 := g.AddNode(topology.ToR, "s1", 1, 0)
+	s2 := g.AddNode(topology.ToR, "s2", 1, 1)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 1)
+	c := g.AddNode(topology.Host, "c", 0, 1)
+	g.AddDuplex(a, s1, 1e6)
+	g.AddDuplex(s1, s2, 1e6)
+	g.AddDuplex(b, s2, 1e6)
+	g.AddDuplex(c, s2, 1e6)
+	return g, topology.NewBFSRouting(g), []topology.NodeID{a, b, c}
+}
+
+// mkFlows runs a throwaway engine long enough to materialize flows with
+// paths, and returns the state via a capture scheduler.
+func capture(t *testing.T, g *topology.Graph, r topology.Routing, specs []sim.TaskSpec) (*sim.State, []*sim.Flow) {
+	t.Helper()
+	cs := &captureSched{}
+	eng := sim.New(g, r, cs, specs, sim.Config{MaxTime: simtime.Time(1e10)})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("capture run: %v", err)
+	}
+	if cs.st == nil {
+		t.Fatal("no state captured")
+	}
+	return cs.st, cs.flows
+}
+
+// captureSched grabs the state and flows at the last task arrival (so
+// Remaining() still equals Size), then kills everything to end the run.
+type captureSched struct {
+	sim.NopHooks
+	st    *sim.State
+	flows []*sim.Flow
+}
+
+func (c *captureSched) Name() string { return "capture" }
+
+func (c *captureSched) OnTaskArrival(st *sim.State, task *sim.Task) {
+	if int(task.ID) != 1 {
+		return
+	}
+	c.st = st
+	c.flows = st.ActiveFlows()
+	for _, f := range c.flows {
+		st.KillFlow(f, "captured")
+	}
+}
+
+func (c *captureSched) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	if len(flows) == 0 {
+		return nil, simtime.Infinity
+	}
+	return sim.RateMap{flows[0].ID: st.Graph().MinCapacity(flows[0].Path)}, simtime.Infinity
+}
+
+func specsFor(hosts []topology.NodeID) []sim.TaskSpec {
+	a, b, c := hosts[0], hosts[1], hosts[2]
+	return []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 4000}, // flow 0
+			{Src: c, Dst: b, Size: 1000}, // flow 1 (shares s2->b with flow 0)
+		}},
+		{Arrival: 0, Deadline: 5 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: c, Size: 2000}, // flow 2 (shares a->s1, s1->s2 with flow 0)
+		}},
+	}
+}
+
+func TestEDFSJFLess(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	// flow2 deadline 5ms beats both 10ms flows; flow1 smaller than flow0.
+	if !sched.EDFSJFLess(flows[2], flows[0]) || !sched.EDFSJFLess(flows[2], flows[1]) {
+		t.Error("earliest deadline must come first")
+	}
+	if !sched.EDFSJFLess(flows[1], flows[0]) {
+		t.Error("equal deadline: smaller remaining first")
+	}
+	if sched.EDFSJFLess(flows[0], flows[0]) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestSJFAndEDFLess(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	if !sched.SJFLess(flows[1], flows[2]) { // 1000 < 2000
+		t.Error("SJF: smaller first")
+	}
+	if !sched.EDFLess(flows[2], flows[1]) {
+		t.Error("EDF: earlier deadline first")
+	}
+	// Tie on deadline falls back to ID under EDF.
+	if !sched.EDFLess(flows[0], flows[1]) {
+		t.Error("EDF tie: lower ID first")
+	}
+}
+
+func TestSortFlows(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	order := []*sim.Flow{flows[0], flows[1], flows[2]}
+	sched.SortFlows(order, sched.EDFSJFLess)
+	want := []sim.FlowID{2, 1, 0}
+	for i, f := range order {
+		if f.ID != want[i] {
+			t.Fatalf("order[%d] = flow %d, want %d", i, f.ID, want[i])
+		}
+	}
+}
+
+func TestResidual(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	res := sched.NewResidual(g)
+	if got := res.Along(flows[0].Path); got != 1e6 {
+		t.Fatalf("fresh residual = %g", got)
+	}
+	if !res.Free(flows[0].Path) {
+		t.Fatal("fresh path should be free")
+	}
+	res.Commit(flows[0].Path, 4e5)
+	if got := res.Along(flows[0].Path); got != 6e5 {
+		t.Fatalf("residual after commit = %g", got)
+	}
+	if res.Free(flows[0].Path) {
+		t.Fatal("committed path is not free")
+	}
+	// flow1 shares only s2->b with flow0.
+	if got := res.Along(flows[1].Path); got != 6e5 {
+		t.Fatalf("shared-link residual = %g", got)
+	}
+	// flow2 shares a->s1, s1->s2.
+	if got := res.Along(flows[2].Path); got != 6e5 {
+		t.Fatalf("flow2 residual = %g", got)
+	}
+	if res.Along(nil) != 0 {
+		t.Fatal("empty path residual must be 0")
+	}
+}
+
+func TestResidualClampsNegative(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	res := sched.NewResidual(g)
+	res.Commit(flows[0].Path, 2e6) // oversubscribe deliberately
+	if got := res.Along(flows[0].Path); got != 0 {
+		t.Fatalf("over-committed residual should clamp to 0, got %g", got)
+	}
+}
+
+func TestExclusiveGreedy(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	// Order: flow0 first -> it takes a-s1-s2-b; flow1 shares s2->b
+	// (blocked); flow2 shares a->s1 (blocked).
+	rates := sched.ExclusiveGreedy(g, []*sim.Flow{flows[0], flows[1], flows[2]})
+	if rates[flows[0].ID] != 1e6 {
+		t.Fatalf("flow0 rate = %g", rates[flows[0].ID])
+	}
+	if rates[flows[1].ID] != 0 || rates[flows[2].ID] != 0 {
+		t.Fatalf("blocked flows must be paused: %v", rates)
+	}
+	// Order: flow1 first, then flow2: they are link-disjoint -> both run.
+	rates = sched.ExclusiveGreedy(g, []*sim.Flow{flows[1], flows[2], flows[0]})
+	if rates[flows[1].ID] != 1e6 || rates[flows[2].ID] != 1e6 {
+		t.Fatalf("disjoint flows should both run: %v", rates)
+	}
+	if rates[flows[0].ID] != 0 {
+		t.Fatal("flow0 must be paused")
+	}
+}
+
+func TestMaxMinFairSingleBottleneck(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	// flows 0 and 1 share s2->b; flow 2 shares a->s1 with flow 0.
+	rates := sched.MaxMinFair(g, flows)
+	// Both bottlenecks (a->s1 with flows {0,2} and s2->b with flows
+	// {0,1}) saturate at share 0.5e6, so the max-min allocation is
+	// 0.5e6 for every flow — none of them can grow further.
+	for id, want := range map[sim.FlowID]float64{0: 5e5, 1: 5e5, 2: 5e5} {
+		got := rates[id]
+		if got < want*0.999 || got > want*1.001 {
+			t.Errorf("flow %d rate = %g, want %g", id, got, want)
+		}
+	}
+}
+
+func TestMaxMinFairNeverOversubscribes(t *testing.T) {
+	g, r, hosts := line()
+	_, flows := capture(t, g, r, specsFor(hosts))
+	rates := sched.MaxMinFair(g, flows)
+	load := map[topology.LinkID]float64{}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			load[l] += rates[f.ID]
+		}
+	}
+	for l, total := range load {
+		if total > g.Link(l).Capacity*(1+1e-9) {
+			t.Fatalf("link %v oversubscribed: %g", l, total)
+		}
+	}
+}
+
+func TestDeadlineRate(t *testing.T) {
+	// 1000 bytes in 4000 µs, guard of 1 µs -> 1000/(3999µs).
+	got := sched.DeadlineRate(1000, 4000)
+	want := 1000 / (3999.0 / 1e6)
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("DeadlineRate = %g want %g", got, want)
+	}
+	if sched.DeadlineRate(1000, 0) != 0 {
+		t.Fatal("zero ttd must give zero rate")
+	}
+	if sched.DeadlineRate(1000, 1) == 0 {
+		t.Fatal("1µs ttd must still give a rate")
+	}
+	// The guard guarantees on-time completion after ceil rounding.
+	r := sched.DeadlineRate(1000, 4000)
+	if d := sim.DurationFor(1000, r); d > 4000 {
+		t.Fatalf("completion %d exceeds deadline 4000", d)
+	}
+}

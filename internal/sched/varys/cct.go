@@ -1,0 +1,151 @@
+package varys
+
+import (
+	"sort"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// CCTScheduler is Varys's primary (non-deadline) mode, which the paper
+// only alludes to (§II): Smallest-Effective-Bottleneck-First coflow
+// ordering with Minimum-Allocation-for-Desired-Duration rate assignment.
+// Coflows are served in order of the time their bottleneck link needs to
+// drain them; within a coflow every flow gets exactly the rate that makes
+// all of its flows finish together (no flow finishes uselessly early), and
+// leftover bandwidth is backfilled max-min across everything else.
+//
+// It ignores deadlines entirely — its objective is average coflow (task)
+// completion time — so in the deadline-sensitive experiments it behaves
+// like a smarter Baraat. It exists to check our Varys baseline against the
+// algorithm Varys actually ships.
+type CCTScheduler struct {
+	sim.NopHooks
+}
+
+// NewCCT returns the SEBF+MADD coflow scheduler.
+func NewCCT() *CCTScheduler { return &CCTScheduler{} }
+
+// Name implements sim.Scheduler.
+func (s *CCTScheduler) Name() string { return "Varys-CCT" }
+
+// Rates implements sim.Scheduler.
+func (s *CCTScheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	byTask := make(map[sim.TaskID][]*sim.Flow)
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		byTask[f.Task] = append(byTask[f.Task], f)
+	}
+	g := st.Graph()
+
+	// SEBF: order coflows by their effective bottleneck drain time.
+	type coflow struct {
+		id    sim.TaskID
+		gamma float64 // seconds to drain the bottleneck at full capacity
+	}
+	coflows := make([]coflow, 0, len(byTask))
+	for id, fs := range byTask {
+		coflows = append(coflows, coflow{id: id, gamma: bottleneckTime(g, fs)})
+	}
+	sort.Slice(coflows, func(i, j int) bool {
+		if coflows[i].gamma != coflows[j].gamma {
+			return coflows[i].gamma < coflows[j].gamma
+		}
+		return coflows[i].id < coflows[j].id
+	})
+
+	rates := make(sim.RateMap, len(flows))
+	residual := make(map[topology.LinkID]float64)
+	avail := func(l topology.LinkID) float64 {
+		if v, ok := residual[l]; ok {
+			if v < 0 {
+				// Exact fills leave -epsilon float residue; a negative
+				// residual must read as "no capacity", never as an
+				// "uninitialized" sentinel downstream.
+				return 0
+			}
+			return v
+		}
+		return g.Link(l).Capacity
+	}
+
+	for _, c := range coflows {
+		fs := byTask[c.id]
+		if c.gamma <= 0 {
+			continue
+		}
+		// MADD: desired rate makes every flow finish at gamma.
+		desired := make([]float64, len(fs))
+		need := make(map[topology.LinkID]float64)
+		for i, f := range fs {
+			desired[i] = f.Remaining() / c.gamma
+			for _, l := range f.Path {
+				need[l] += desired[i]
+			}
+		}
+		// Scale the whole coflow down to fit the residual capacity.
+		alpha := 1.0
+		for l, n := range need {
+			if n <= 0 {
+				continue
+			}
+			if a := avail(l) / n; a < alpha {
+				alpha = a
+			}
+		}
+		if alpha <= 0 {
+			continue
+		}
+		for i, f := range fs {
+			r := desired[i] * alpha
+			if r <= 0 {
+				continue
+			}
+			rates[f.ID] += r
+			for _, l := range f.Path {
+				residual[l] = avail(l) - r
+			}
+		}
+	}
+	// Work conservation: backfill leftovers max-min style, flow order.
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		extra := avail(f.Path[0])
+		for _, l := range f.Path[1:] {
+			if a := avail(l); a < extra {
+				extra = a
+			}
+		}
+		if extra > 0 {
+			rates[f.ID] += extra
+			for _, l := range f.Path {
+				residual[l] = avail(l) - extra
+			}
+		}
+	}
+	return rates, simtime.Infinity
+}
+
+// bottleneckTime is the coflow's effective bottleneck: the largest
+// per-link drain time of its remaining bytes at full link capacity.
+func bottleneckTime(g *topology.Graph, fs []*sim.Flow) float64 {
+	load := make(map[topology.LinkID]float64)
+	for _, f := range fs {
+		for _, l := range f.Path {
+			load[l] += f.Remaining()
+		}
+	}
+	worst := 0.0
+	for l, b := range load {
+		if t := b / g.Link(l).Capacity; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,102 @@
+package varys_test
+
+import (
+	"testing"
+
+	"taps/internal/analysis"
+	"taps/internal/sched/baraat"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sched/varys"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+func runCCT(t *testing.T, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e11)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMADDFinishesCoflowTogether: the defining MADD property — all flows
+// of a coflow complete at the same instant (no early finishers wasting
+// bandwidth the stragglers needed).
+func TestMADDFinishesCoflowTogether(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 3000},
+		}}}
+	res := runCCT(t, varys.NewCCT(), specs)
+	// Total 4000 bytes share one 1 MB/s link: both finish at 4 ms.
+	if res.Flows[0].Finish != res.Flows[1].Finish {
+		t.Fatalf("coflow flows finish apart: %d vs %d",
+			res.Flows[0].Finish, res.Flows[1].Finish)
+	}
+	if res.Flows[0].Finish != 4*simtime.Millisecond {
+		t.Fatalf("finish = %d", res.Flows[0].Finish)
+	}
+}
+
+// TestSEBFPrefersSmallCoflow: a small coflow arriving alongside a big one
+// drains first, unlike FIFO (Baraat) which serves the earlier task ID.
+func TestSEBFPrefersSmallCoflow(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: simtime.Second,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 8000}}},
+		{Arrival: 0, Deadline: simtime.Second,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	res := runCCT(t, varys.NewCCT(), specs)
+	small, big := res.Flows[1], res.Flows[0]
+	if small.Finish >= big.Finish {
+		t.Fatalf("SEBF should drain the small coflow first: small=%d big=%d",
+			small.Finish, big.Finish)
+	}
+	if small.Finish > 2*simtime.Millisecond {
+		t.Fatalf("small coflow finish = %d; starved by the big one", small.Finish)
+	}
+}
+
+// TestCCTBeatsFairSharingAndMatchesBaraatGoal: mean coflow completion time
+// under SEBF+MADD is at least as good as fair sharing on a contended link.
+func TestCCTBeatsFairSharing(t *testing.T) {
+	_, _, a, b := pair()
+	var specs []sim.TaskSpec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, sim.TaskSpec{
+			Arrival:  0,
+			Deadline: simtime.Second,
+			Flows: []sim.FlowSpec{
+				{Src: a, Dst: b, Size: int64(500 * (i + 1))},
+				{Src: a, Dst: b, Size: int64(250 * (i + 1))},
+			},
+		})
+	}
+	cct := analysis.TCT(runCCT(t, varys.NewCCT(), specs))
+	fair := analysis.TCT(runCCT(t, fairshare.New(), specs))
+	if cct.Count != 5 || fair.Count != 5 {
+		t.Fatalf("counts: %d %d", cct.Count, fair.Count)
+	}
+	if cct.Mean > fair.Mean {
+		t.Fatalf("SEBF+MADD mean CCT %d worse than fair sharing %d", cct.Mean, fair.Mean)
+	}
+	// And it should not be worse than FIFO Baraat either (SJF-like
+	// ordering dominates FIFO for mean completion time).
+	fifo := analysis.TCT(runCCT(t, baraat.New(), specs))
+	if cct.Mean > fifo.Mean {
+		t.Fatalf("SEBF+MADD mean CCT %d worse than Baraat %d", cct.Mean, fifo.Mean)
+	}
+}
+
+func TestCCTName(t *testing.T) {
+	if varys.NewCCT().Name() != "Varys-CCT" {
+		t.Fatal("name")
+	}
+}

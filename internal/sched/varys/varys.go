@@ -1,0 +1,125 @@
+// Package varys implements the Varys baseline (Chowdhury et al.,
+// SIGCOMM'14) in the deadline-sensitive configuration the paper simulates
+// (§II, §V-A): task-aware, deadline-aware admission control in FIFO task
+// arrival order, without preemption.
+//
+// When a task arrives, every flow asks for the reservation rate
+// r = size/deadline on its path. If the residual (unreserved) bandwidth on
+// any link cannot honor one of the task's reservations, the entire task is
+// rejected immediately and transmits nothing. Once admitted, a task is
+// never revoked — which is exactly the arrival-order sensitivity that the
+// TAPS preemption motivation example (Fig. 2) exploits: an early mild task
+// can lock bandwidth away from a later urgent one.
+package varys
+
+import (
+	"taps/internal/sched"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Scheduler is the Varys policy. Use New: it carries reservation state.
+type Scheduler struct {
+	sim.NopHooks
+	reserved map[topology.LinkID]float64
+	rate     map[sim.FlowID]float64
+}
+
+// New returns the paper's Varys baseline.
+func New() *Scheduler {
+	return &Scheduler{
+		reserved: make(map[topology.LinkID]float64),
+		rate:     make(map[sim.FlowID]float64),
+	}
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "Varys" }
+
+// OnTaskArrival performs admission control for the whole task.
+func (s *Scheduler) OnTaskArrival(st *sim.State, task *sim.Task) {
+	ttd := task.Deadline - st.Now()
+	if ttd <= 0 {
+		st.KillTask(task.ID, "varys: zero deadline")
+		return
+	}
+	// Tentatively reserve; roll back on any failure.
+	type grant struct {
+		f    *sim.Flow
+		rate float64
+	}
+	var grants []grant
+	ok := true
+	for _, fid := range task.Flows {
+		f := st.Flow(fid)
+		if f.State != sim.FlowActive {
+			continue // zero-size flow, already done
+		}
+		want := sched.DeadlineRate(f.Remaining(), ttd)
+		fit := true
+		for _, l := range f.Path {
+			if s.reserved[l]+want > st.Graph().Link(l).Capacity*(1+1e-9) {
+				fit = false
+				break
+			}
+		}
+		if !fit {
+			ok = false
+			break
+		}
+		for _, l := range f.Path {
+			s.reserved[l] += want
+		}
+		grants = append(grants, grant{f, want})
+	}
+	if !ok {
+		for _, g := range grants {
+			for _, l := range g.f.Path {
+				s.reserved[l] -= g.rate
+			}
+		}
+		st.KillTask(task.ID, "varys: insufficient bandwidth, task rejected")
+		return
+	}
+	for _, g := range grants {
+		s.rate[g.f.ID] = g.rate
+	}
+}
+
+// OnFlowFinished releases the flow's reservation.
+func (s *Scheduler) OnFlowFinished(st *sim.State, f *sim.Flow) {
+	s.release(f)
+}
+
+// OnDeadlineMissed releases the reservation and stops the flow. With exact
+// fluid rates an admitted flow finishes at its deadline; integer-µs
+// rounding can leave a sliver, which is abandoned here.
+func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	s.release(f)
+	st.KillFlow(f, "deadline missed")
+}
+
+func (s *Scheduler) release(f *sim.Flow) {
+	r, ok := s.rate[f.ID]
+	if !ok {
+		return
+	}
+	delete(s.rate, f.ID)
+	for _, l := range f.Path {
+		s.reserved[l] -= r
+		if s.reserved[l] < 1e-9 {
+			s.reserved[l] = 0
+		}
+	}
+}
+
+// Rates implements sim.Scheduler: every admitted flow transmits at its
+// reserved rate.
+func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	rates := make(sim.RateMap, len(s.rate))
+	for id, r := range s.rate {
+		rates[id] = r
+	}
+	return rates, simtime.Infinity
+}

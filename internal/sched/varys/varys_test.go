@@ -1,0 +1,136 @@
+package varys_test
+
+import (
+	"testing"
+
+	"taps/internal/sched/varys"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+func pair() (*topology.Graph, topology.Routing, topology.NodeID, topology.NodeID) {
+	g := topology.NewGraph()
+	s := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, s, 1e6)
+	g.AddDuplex(b, s, 1e6)
+	return g, topology.NewBFSRouting(g), a, b
+}
+
+func run(t *testing.T, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g, r, _, _ := pair()
+	eng := sim.New(g, r, varys.New(), specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAdmittedTaskFinishesByDeadline(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 4 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 2000},
+		}}}
+	res := run(t, specs)
+	for _, f := range res.Flows {
+		if !f.OnTime() {
+			t.Fatalf("flow %d missed: finish=%d", f.ID, f.Finish)
+		}
+	}
+	if !res.Tasks[0].Completed(res.Flows) {
+		t.Fatal("task should complete")
+	}
+}
+
+func TestInsufficientBandwidthRejectsWholeTask(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 2 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1500},
+			{Src: a, Dst: b, Size: 1500}, // together they need 1.5x capacity
+		}}}
+	res := run(t, specs)
+	if !res.Tasks[0].Rejected {
+		t.Fatal("task should be rejected at admission")
+	}
+	for _, f := range res.Flows {
+		if f.State != sim.FlowKilled || f.BytesSent != 0 {
+			t.Fatalf("rejected flow transmitted: state=%v sent=%g", f.State, f.BytesSent)
+		}
+	}
+}
+
+// TestFIFOLockout is the Varys limitation of Fig. 2: an early mild task
+// locks bandwidth away from a later urgent one, which is rejected.
+func TestFIFOLockout(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 4 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 1000},
+		}},
+		{Arrival: 0, Deadline: 2 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 1000},
+		}},
+	}
+	res := run(t, specs)
+	if !res.Tasks[0].Completed(res.Flows) {
+		t.Fatal("first task should complete")
+	}
+	if !res.Tasks[1].Rejected {
+		t.Fatal("urgent later task should be rejected (no preemption)")
+	}
+}
+
+func TestReservationReleasedAfterCompletion(t *testing.T) {
+	_, _, a, b := pair()
+	specs := []sim.TaskSpec{
+		// Tight task: needs nearly the whole link for 2 ms.
+		{Arrival: 0, Deadline: 2*simtime.Millisecond + 10,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1990}}},
+		// Arrives after the first completed: reservation must be free.
+		{Arrival: 3 * simtime.Millisecond, Deadline: 2*simtime.Millisecond + 10,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1990}}},
+	}
+	res := run(t, specs)
+	if !res.Tasks[0].Completed(res.Flows) || !res.Tasks[1].Completed(res.Flows) {
+		t.Fatalf("both sequential tasks should complete: %v %v",
+			res.Tasks[0].Completed(res.Flows), res.Tasks[1].Completed(res.Flows))
+	}
+}
+
+func TestPartialAdmissionRollsBack(t *testing.T) {
+	_, _, a, b := pair()
+	// Task whose first flow fits but whose second does not: the first
+	// flow's tentative reservation must be rolled back so a later task
+	// can use the full link.
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 2 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1000},
+			{Src: a, Dst: b, Size: 1900},
+		}},
+		{Arrival: 1, Deadline: 2 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: a, Dst: b, Size: 1900},
+		}},
+	}
+	res := run(t, specs)
+	if !res.Tasks[0].Rejected {
+		t.Fatal("oversized task should be rejected")
+	}
+	if !res.Tasks[1].Completed(res.Flows) {
+		t.Fatal("later task should be admitted after rollback")
+	}
+}
+
+func TestName(t *testing.T) {
+	if varys.New().Name() != "Varys" {
+		t.Fatal("name")
+	}
+}

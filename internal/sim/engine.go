@@ -1,0 +1,508 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// RateMap assigns transmission rates (bytes/second) to flows. Flows absent
+// from the map do not transmit.
+type RateMap map[FlowID]float64
+
+// Scheduler is the pluggable policy the engine consults. One Scheduler
+// value serves one simulation run.
+//
+// Rates is called at every event instant and returns the rate allocation
+// plus a horizon: the earliest future instant at which the allocation must
+// be recomputed even if no flow completes, arrives, or expires
+// (simtime.Infinity when there is none). TAPS uses the horizon to follow
+// pre-allocated time-slice boundaries.
+//
+// OnLinkDown fires after an injected link failure (Config.LinkFailures).
+// By the time it runs, the engine has already moved affected flows onto
+// surviving ECMP paths (or killed the disconnected ones) and the State's
+// Routing excludes the dead link.
+type Scheduler interface {
+	Name() string
+	OnTaskArrival(st *State, task *Task)
+	OnFlowFinished(st *State, f *Flow)
+	OnDeadlineMissed(st *State, f *Flow)
+	OnLinkDown(st *State, link topology.LinkID)
+	Rates(st *State) (RateMap, simtime.Time)
+}
+
+// NopHooks provides no-op event hooks for schedulers that only implement
+// Rates. Embed it to satisfy Scheduler.
+type NopHooks struct{}
+
+// OnTaskArrival implements Scheduler.
+func (NopHooks) OnTaskArrival(*State, *Task) {}
+
+// OnFlowFinished implements Scheduler.
+func (NopHooks) OnFlowFinished(*State, *Flow) {}
+
+// OnDeadlineMissed implements Scheduler.
+func (NopHooks) OnDeadlineMissed(*State, *Flow) {}
+
+// OnLinkDown implements Scheduler.
+func (NopHooks) OnLinkDown(*State, topology.LinkID) {}
+
+// State is the engine view exposed to schedulers.
+type State struct {
+	graph   *topology.Graph
+	routing topology.Routing
+	now     simtime.Time
+	flows   []*Flow
+	tasks   []*Task
+	active  map[FlowID]*Flow
+	dead    map[topology.LinkID]bool
+}
+
+// IsLinkDead reports whether an injected failure has taken the link down.
+func (st *State) IsLinkDead(l topology.LinkID) bool { return st.dead[l] }
+
+// liveRouting filters a Routing's candidate paths down to those avoiding
+// dead links. It shares the engine's dead-link set, so failures take
+// effect everywhere (default ECMP assignment, TAPS planning) at once.
+type liveRouting struct {
+	inner topology.Routing
+	dead  map[topology.LinkID]bool
+}
+
+func (lr *liveRouting) Paths(src, dst topology.NodeID, max int, key uint64) []topology.Path {
+	if len(lr.dead) == 0 {
+		return lr.inner.Paths(src, dst, max, key)
+	}
+	all := lr.inner.Paths(src, dst, 0, key)
+	alive := make([]topology.Path, 0, len(all))
+	for _, p := range all {
+		ok := true
+		for _, l := range p {
+			if lr.dead[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			alive = append(alive, p)
+		}
+	}
+	if max > 0 && max < len(alive) {
+		alive = alive[:max]
+	}
+	return alive
+}
+
+// Now returns the current simulation time.
+func (st *State) Now() simtime.Time { return st.now }
+
+// Graph returns the topology.
+func (st *State) Graph() *topology.Graph { return st.graph }
+
+// Routing returns the path oracle for the topology.
+func (st *State) Routing() topology.Routing { return st.routing }
+
+// Flow returns the flow with the given ID.
+func (st *State) Flow(id FlowID) *Flow { return st.flows[id] }
+
+// Task returns the task with the given ID.
+func (st *State) Task(id TaskID) *Task { return st.tasks[id] }
+
+// ActiveFlows returns the active flows sorted by ID. The slice is fresh on
+// every call; the *Flow values are shared with the engine.
+func (st *State) ActiveFlows() []*Flow {
+	out := make([]*Flow, 0, len(st.active))
+	for _, f := range st.active {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumActive returns the number of active flows.
+func (st *State) NumActive() int { return len(st.active) }
+
+// KillFlow terminates an active flow (PDQ Early Termination, D3/Fair
+// Sharing expiry stop, TAPS task rejection). Bytes already sent remain
+// accounted (and will count as wasted bandwidth).
+func (st *State) KillFlow(f *Flow, note string) {
+	if f.State != FlowActive {
+		return
+	}
+	f.State = FlowKilled
+	f.Finish = st.now
+	f.KillNote = note
+	delete(st.active, f.ID)
+}
+
+// KillTask kills every still-active flow of the task and marks the task
+// rejected: no further bytes will be spent on it.
+func (st *State) KillTask(id TaskID, note string) {
+	t := st.tasks[id]
+	t.Rejected = true
+	for _, fid := range t.Flows {
+		st.KillFlow(st.flows[fid], note)
+	}
+}
+
+// TaskCompletionFraction returns the fraction of the task's bytes already
+// delivered — the "completion ratio of the task" used by the TAPS reject
+// rule (§IV-B).
+func (st *State) TaskCompletionFraction(id TaskID) float64 {
+	t := st.tasks[id]
+	var total, sent float64
+	for _, fid := range t.Flows {
+		f := st.flows[fid]
+		total += float64(f.Size)
+		sent += float64(f.Size) - f.remaining
+	}
+	if total == 0 {
+		return 1
+	}
+	return sent / total
+}
+
+// Result is the outcome of a completed simulation run.
+type Result struct {
+	Scheduler string
+	Flows     []*Flow
+	Tasks     []*Task
+	EndTime   simtime.Time
+	Events    int
+	// Segments holds per-flow transmission segments when
+	// Config.RecordSegments was set (nil otherwise).
+	Segments map[FlowID][]Segment
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Validate enables per-event link-capacity and sanity checks on the
+	// scheduler's rate allocations (used by tests; costs time).
+	Validate bool
+	// MaxTime aborts runaway simulations; 0 means no limit.
+	MaxTime simtime.Time
+	// NoDefaultPaths disables the engine's automatic ECMP path
+	// assignment at flow arrival; the scheduler must then set paths
+	// itself before any flow transmits.
+	NoDefaultPaths bool
+	// RecordSegments stores every flow's transmission segments
+	// (time interval + rate) in Result.Segments, for Gantt rendering
+	// and schedule debugging. Costs memory proportional to rate changes.
+	RecordSegments bool
+	// LinkFailures injects link failures: at each failure's instant the
+	// link goes dead for the rest of the run, affected flows are
+	// rerouted over surviving equal-cost paths (or killed when none
+	// exists), and the scheduler's OnLinkDown hook fires.
+	LinkFailures []LinkFailure
+}
+
+// LinkFailure kills one directed link at an instant.
+type LinkFailure struct {
+	At   simtime.Time
+	Link topology.LinkID
+}
+
+// Segment is one constant-rate stretch of a flow's transmission.
+type Segment struct {
+	Interval simtime.Interval
+	Rate     float64 // bytes/second
+}
+
+// Engine drives one simulation run.
+type Engine struct {
+	st       *State
+	sched    Scheduler
+	cfg      Config
+	pending  []TaskSpec
+	failures []LinkFailure
+	events   int
+	segments map[FlowID][]Segment
+}
+
+// New builds an engine over the graph/routing for the given task specs.
+// The specs may be in any arrival order.
+func New(g *topology.Graph, r topology.Routing, sched Scheduler, specs []TaskSpec, cfg Config) *Engine {
+	pending := make([]TaskSpec, len(specs))
+	copy(pending, specs)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	failures := make([]LinkFailure, len(cfg.LinkFailures))
+	copy(failures, cfg.LinkFailures)
+	sort.SliceStable(failures, func(i, j int) bool { return failures[i].At < failures[j].At })
+	dead := make(map[topology.LinkID]bool)
+	return &Engine{
+		st: &State{
+			graph:   g,
+			routing: &liveRouting{inner: r, dead: dead},
+			active:  make(map[FlowID]*Flow),
+			dead:    dead,
+		},
+		sched:    sched,
+		cfg:      cfg,
+		pending:  pending,
+		failures: failures,
+	}
+}
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	st := e.st
+	for {
+		e.applyFailures()
+		e.admitArrivals()
+		e.fireDeadlines()
+		if len(st.active) == 0 && len(e.pending) == 0 {
+			break
+		}
+		if len(st.active) == 0 {
+			// Idle until the next arrival.
+			st.now = e.pending[0].Arrival
+			continue
+		}
+		rates, horizon := e.sched.Rates(st)
+		if e.cfg.Validate {
+			if err := e.validate(rates); err != nil {
+				return nil, err
+			}
+		}
+		next := e.nextEventTime(rates, horizon)
+		if next >= simtime.Infinity {
+			return nil, fmt.Errorf("sim: stalled at t=%d: %d active flows, no rates, no horizon",
+				st.now, len(st.active))
+		}
+		if next <= st.now {
+			next = st.now + 1
+		}
+		if e.cfg.MaxTime > 0 && next > e.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %d at t=%d with %d active flows",
+				e.cfg.MaxTime, st.now, len(st.active))
+		}
+		e.integrate(rates, next-st.now)
+		st.now = next
+		e.completeFinished()
+		e.events++
+	}
+	return &Result{
+		Scheduler: e.sched.Name(),
+		Flows:     st.flows,
+		Tasks:     st.tasks,
+		EndTime:   st.now,
+		Events:    e.events,
+		Segments:  e.segments,
+	}, nil
+}
+
+// applyFailures takes due links down, reroutes or kills the affected
+// flows, and notifies the scheduler.
+func (e *Engine) applyFailures() {
+	st := e.st
+	for len(e.failures) > 0 && e.failures[0].At <= st.now {
+		lf := e.failures[0]
+		e.failures = e.failures[1:]
+		if st.dead[lf.Link] {
+			continue
+		}
+		st.dead[lf.Link] = true
+		var affected []*Flow
+		for _, f := range st.active {
+			for _, l := range f.Path {
+				if l == lf.Link {
+					affected = append(affected, f)
+					break
+				}
+			}
+		}
+		sort.Slice(affected, func(i, j int) bool { return affected[i].ID < affected[j].ID })
+		for _, f := range affected {
+			if np := topology.ECMP(st.routing, f.Src, f.Dst, uint64(f.ID)); np != nil {
+				f.Path = np
+			} else {
+				st.KillFlow(f, "disconnected by link failure")
+			}
+		}
+		e.sched.OnLinkDown(st, lf.Link)
+	}
+}
+
+// admitArrivals materializes every task whose arrival instant is now.
+func (e *Engine) admitArrivals() {
+	st := e.st
+	for len(e.pending) > 0 && e.pending[0].Arrival <= st.now {
+		spec := e.pending[0]
+		e.pending = e.pending[1:]
+		task := &Task{
+			ID:       TaskID(len(st.tasks)),
+			Arrival:  spec.Arrival,
+			Deadline: spec.Arrival + spec.Deadline,
+		}
+		st.tasks = append(st.tasks, task)
+		for _, fs := range spec.Flows {
+			f := &Flow{
+				ID:        FlowID(len(st.flows)),
+				Task:      task.ID,
+				Src:       fs.Src,
+				Dst:       fs.Dst,
+				Size:      fs.Size,
+				Arrival:   spec.Arrival,
+				Deadline:  task.Deadline,
+				State:     FlowActive,
+				remaining: float64(fs.Size),
+			}
+			if !e.cfg.NoDefaultPaths && fs.Src != fs.Dst {
+				f.Path = topology.ECMP(st.routing, fs.Src, fs.Dst, uint64(f.ID))
+			}
+			st.flows = append(st.flows, f)
+			task.Flows = append(task.Flows, f.ID)
+			if f.remaining <= 0 || fs.Src == fs.Dst {
+				// Zero bytes, or a local transfer that never touches
+				// the network: delivered instantly (the bytes count as
+				// sent without occupying any link).
+				f.BytesSent = float64(f.Size)
+				f.remaining = 0
+				f.State = FlowDone
+				f.Finish = st.now
+				continue
+			}
+			st.active[f.ID] = f
+		}
+		e.sched.OnTaskArrival(st, task)
+	}
+}
+
+// fireDeadlines notifies the scheduler, exactly once per flow, that an
+// active flow has passed its deadline.
+func (e *Engine) fireDeadlines() {
+	st := e.st
+	var expired []*Flow
+	for _, f := range st.active {
+		if !f.deadlineNotified && f.Deadline <= st.now {
+			f.deadlineNotified = true
+			expired = append(expired, f)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].ID < expired[j].ID })
+	for _, f := range expired {
+		e.sched.OnDeadlineMissed(st, f)
+	}
+}
+
+// nextEventTime computes the next instant anything observable happens.
+func (e *Engine) nextEventTime(rates RateMap, horizon simtime.Time) simtime.Time {
+	st := e.st
+	next := simtime.Infinity
+	if len(e.pending) > 0 {
+		next = min(next, e.pending[0].Arrival)
+	}
+	if len(e.failures) > 0 {
+		next = min(next, e.failures[0].At)
+	}
+	if horizon > st.now {
+		next = min(next, horizon)
+	}
+	for _, f := range st.active {
+		if !f.deadlineNotified && f.Deadline > st.now {
+			next = min(next, f.Deadline)
+		}
+		if r := rates[f.ID]; r > 0 {
+			next = min(next, st.now+DurationFor(f.remaining, r))
+		}
+	}
+	return next
+}
+
+// integrate advances every transmitting flow by dt microseconds.
+func (e *Engine) integrate(rates RateMap, dt simtime.Time) {
+	for id, r := range rates {
+		if r <= 0 {
+			continue
+		}
+		f, ok := e.st.active[id]
+		if !ok {
+			continue
+		}
+		bytes := r * float64(dt) / 1e6
+		if bytes > f.remaining {
+			bytes = f.remaining
+		}
+		f.remaining -= bytes
+		f.BytesSent += bytes
+		if e.cfg.RecordSegments {
+			e.recordSegment(id, simtime.Interval{Start: e.st.now, End: e.st.now + dt}, r)
+		}
+	}
+}
+
+// recordSegment appends a transmission segment, coalescing with the
+// previous one when contiguous at the same rate.
+func (e *Engine) recordSegment(id FlowID, iv simtime.Interval, rate float64) {
+	if e.segments == nil {
+		e.segments = make(map[FlowID][]Segment)
+	}
+	segs := e.segments[id]
+	if n := len(segs); n > 0 && segs[n-1].Interval.End == iv.Start && segs[n-1].Rate == rate {
+		segs[n-1].Interval.End = iv.End
+		e.segments[id] = segs
+		return
+	}
+	e.segments[id] = append(segs, Segment{Interval: iv, Rate: rate})
+}
+
+// completeFinished retires flows whose remaining bytes reached zero.
+func (e *Engine) completeFinished() {
+	st := e.st
+	var done []*Flow
+	for _, f := range st.active {
+		if f.remaining <= 1e-9 {
+			done = append(done, f)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	for _, f := range done {
+		f.remaining = 0
+		f.State = FlowDone
+		f.Finish = st.now
+		delete(st.active, f.ID)
+		e.sched.OnFlowFinished(st, f)
+	}
+}
+
+// validate checks a rate allocation: non-negative rates, only active flows,
+// flows with traffic must have a valid path, and no link is oversubscribed.
+func (e *Engine) validate(rates RateMap) error {
+	st := e.st
+	load := make(map[topology.LinkID]float64)
+	for id, r := range rates {
+		if r < 0 {
+			return fmt.Errorf("sim: negative rate %g for flow %d", r, id)
+		}
+		if r == 0 {
+			continue
+		}
+		f, ok := st.active[id]
+		if !ok {
+			return fmt.Errorf("sim: rate assigned to non-active flow %d", id)
+		}
+		if len(f.Path) == 0 && f.Src != f.Dst {
+			return fmt.Errorf("sim: flow %d transmits without a path", id)
+		}
+		if !st.graph.ValidPath(f.Path, f.Src, f.Dst) {
+			return fmt.Errorf("sim: flow %d has invalid path %v", id, f.Path)
+		}
+		for _, l := range f.Path {
+			if st.dead[l] {
+				return fmt.Errorf("sim: flow %d transmits over dead link %s", id, st.graph.Link(l).Name)
+			}
+			load[l] += r
+		}
+	}
+	for l, total := range load {
+		capac := st.graph.Link(l).Capacity
+		if total > capac*(1+1e-9)+1e-6 {
+			return fmt.Errorf("sim: link %s oversubscribed: %g > %g",
+				st.graph.Link(l).Name, total, capac)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"testing"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// fullRateSched grants every active flow the full residual of its path,
+// one flow per link (exclusive greedy by flow ID).
+type fullRateSched struct{ sim.NopHooks }
+
+func (fullRateSched) Name() string { return "fullrate" }
+
+func (fullRateSched) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	used := map[topology.LinkID]bool{}
+	m := make(sim.RateMap)
+	for _, f := range st.ActiveFlows() {
+		ok := len(f.Path) > 0
+		for _, l := range f.Path {
+			if used[l] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, l := range f.Path {
+			used[l] = true
+		}
+		m[f.ID] = st.Graph().MinCapacity(f.Path)
+	}
+	return m, simtime.Infinity
+}
+
+func TestLinkFailureReroutesOverSurvivingPath(t *testing.T) {
+	// Partial fat-tree: two disjoint inter-pod paths. Kill the one the
+	// flow is on mid-transfer; the engine must move it to the other.
+	g, r := topology.PartialFatTree(topology.PaperTestbed())
+	hosts := g.Hosts()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 100 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[7], Size: 500_000}}}}
+
+	// First run without failure to learn the default path.
+	eng := sim.New(g, r, fullRateSched{}, specs, sim.Config{Validate: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPath := res.Flows[0].Path
+	// Pick a middle link of the path (above the edge layer).
+	failed := origPath[2]
+
+	eng = sim.New(g, r, fullRateSched{}, specs, sim.Config{
+		Validate: true,
+		LinkFailures: []sim.LinkFailure{
+			{At: 1 * simtime.Millisecond, Link: failed},
+		},
+	})
+	res, err = eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.State != sim.FlowDone || !f.OnTime() {
+		t.Fatalf("flow should survive the failure: state=%v finish=%d", f.State, f.Finish)
+	}
+	for _, l := range f.Path {
+		if l == failed {
+			t.Fatal("flow still routed over the dead link")
+		}
+	}
+	// 500 KB at 1 Gbps is 4 ms; the reroute must not have lost progress.
+	if f.Finish > 5*simtime.Millisecond {
+		t.Fatalf("finish = %d; reroute should preserve progress", f.Finish)
+	}
+}
+
+func TestLinkFailureDisconnectsSinglePathFlow(t *testing.T) {
+	// Single-rooted tree: exactly one path; killing any of its links
+	// disconnects the flow.
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, LinkCapacity: topology.Gbps(1),
+	})
+	hosts := g.Hosts()
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 100 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[7], Size: 5_000_000}}}}
+	eng := sim.New(g, r, fullRateSched{}, specs, sim.Config{Validate: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Flows[0].Path[1]
+
+	eng = sim.New(g, r, fullRateSched{}, specs, sim.Config{
+		Validate:     true,
+		LinkFailures: []sim.LinkFailure{{At: 2 * simtime.Millisecond, Link: failed}},
+	})
+	res, err = eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.State != sim.FlowKilled {
+		t.Fatalf("state = %v, want killed", f.State)
+	}
+	if f.KillNote != "disconnected by link failure" {
+		t.Fatalf("kill note = %q", f.KillNote)
+	}
+	if f.Finish != 2*simtime.Millisecond {
+		t.Fatalf("killed at %d", f.Finish)
+	}
+}
+
+// hookRecorder records OnLinkDown invocations.
+type hookRecorder struct {
+	fullRateSched
+	downs []topology.LinkID
+}
+
+func (h *hookRecorder) OnLinkDown(st *sim.State, l topology.LinkID) {
+	h.downs = append(h.downs, l)
+	if !st.IsLinkDead(l) {
+		panic("link not marked dead inside the hook")
+	}
+}
+
+func TestOnLinkDownHookFiresOnce(t *testing.T) {
+	g, r := topology.PartialFatTree(topology.PaperTestbed())
+	hosts := g.Hosts()
+	// The flow (4 ms) must outlive the failures, or the run ends before
+	// they fire (failures after the last flow are irrelevant).
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[7], Size: 500_000}}}}
+	h := &hookRecorder{}
+	eng := sim.New(g, r, h, specs, sim.Config{
+		LinkFailures: []sim.LinkFailure{
+			{At: 10, Link: 0},
+			{At: 20, Link: 0}, // duplicate: must not re-fire
+			{At: 30, Link: 1},
+		},
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.downs) != 2 || h.downs[0] != 0 || h.downs[1] != 1 {
+		t.Fatalf("hook calls = %v", h.downs)
+	}
+}
+
+func TestFailedLinkExcludedFromNewArrivals(t *testing.T) {
+	g, r := topology.PartialFatTree(topology.PaperTestbed())
+	hosts := g.Hosts()
+	// Fail one inter-pod path's core link before the flow arrives; the
+	// default ECMP assignment must avoid it for any key.
+	all := r.Paths(hosts[0], hosts[7], 0, 0)
+	failed := all[0][2]
+	specs := []sim.TaskSpec{{Arrival: 5 * simtime.Millisecond, Deadline: simtime.Second,
+		Flows: []sim.FlowSpec{{Src: hosts[0], Dst: hosts[7], Size: 1000}}}}
+	eng := sim.New(g, r, fullRateSched{}, specs, sim.Config{
+		Validate:     true,
+		LinkFailures: []sim.LinkFailure{{At: 0, Link: failed}},
+	})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Flows[0].Path {
+		if l == failed {
+			t.Fatal("arrival routed over a dead link")
+		}
+	}
+	if !res.Flows[0].OnTime() {
+		t.Fatal("flow should complete on the surviving path")
+	}
+}

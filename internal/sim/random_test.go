@@ -1,0 +1,120 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// chaosSched allocates random but capacity-respecting rates every event:
+// it walks active flows in a seeded random order and gives each a random
+// fraction of the residual capacity along its path. It exists to fuzz the
+// engine: ANY such scheduler must produce a consistent, terminating run.
+type chaosSched struct {
+	sim.NopHooks
+	rng *rand.Rand
+}
+
+func (c *chaosSched) Name() string { return "chaos" }
+
+func (c *chaosSched) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	// Kill half of the expired flows; let the rest dribble on.
+	if c.rng.Intn(2) == 0 {
+		st.KillFlow(f, "chaos kill")
+	}
+}
+
+func (c *chaosSched) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
+	flows := st.ActiveFlows()
+	c.rng.Shuffle(len(flows), func(i, j int) { flows[i], flows[j] = flows[j], flows[i] })
+	residual := map[topology.LinkID]float64{}
+	avail := func(l topology.LinkID) float64 {
+		if v, ok := residual[l]; ok {
+			return v
+		}
+		return st.Graph().Link(l).Capacity
+	}
+	rates := make(sim.RateMap, len(flows))
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		room := avail(f.Path[0])
+		for _, l := range f.Path[1:] {
+			if a := avail(l); a < room {
+				room = a
+			}
+		}
+		if room <= 0 {
+			continue
+		}
+		// Random fraction, sometimes zero, occasionally everything. A
+		// floor keeps total progress nonzero so the run terminates.
+		frac := c.rng.Float64()
+		if c.rng.Intn(4) == 0 {
+			frac = 1
+		}
+		r := room * max(frac, 0.05)
+		rates[f.ID] = r
+		for _, l := range f.Path {
+			residual[l] = avail(l) - r
+		}
+	}
+	// Random finite horizon sometimes, to exercise horizon handling.
+	if c.rng.Intn(3) == 0 {
+		return rates, st.Now() + simtime.Time(1+c.rng.Intn(2000))
+	}
+	return rates, simtime.Infinity
+}
+
+// TestPropEngineSurvivesChaosScheduler fuzzes the engine with random
+// capacity-respecting allocations over random workloads: the run must
+// terminate, validate cleanly, and leave consistent flow states.
+func TestPropEngineSurvivesChaosScheduler(t *testing.T) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 4, LinkCapacity: topology.Gbps(1)})
+	cr := topology.NewCachedRouting(r)
+	hosts := g.Hosts()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var specs []sim.TaskSpec
+		for i := 0; i <= rng.Intn(6); i++ {
+			var flows []sim.FlowSpec
+			for j := 0; j <= rng.Intn(5); j++ {
+				src := hosts[rng.Intn(len(hosts))]
+				dst := hosts[rng.Intn(len(hosts))]
+				if src == dst {
+					dst = hosts[(int(dst)+1)%len(hosts)]
+				}
+				flows = append(flows, sim.FlowSpec{Src: src, Dst: dst, Size: int64(1 + rng.Intn(300_000))})
+			}
+			specs = append(specs, sim.TaskSpec{
+				Arrival:  simtime.Time(rng.Intn(20_000)),
+				Deadline: simtime.Time(1 + rng.Intn(30_000)),
+				Flows:    flows,
+			})
+		}
+		eng := sim.New(g, cr, &chaosSched{rng: rand.New(rand.NewSource(seed + 1))}, specs,
+			sim.Config{Validate: true, MaxTime: simtime.Time(1e12)})
+		res, err := eng.Run()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, fl := range res.Flows {
+			if fl.State == sim.FlowActive || fl.State == sim.FlowPending {
+				return false
+			}
+			if fl.State == sim.FlowDone && (fl.BytesSent < float64(fl.Size)-1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

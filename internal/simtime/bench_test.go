@@ -1,0 +1,71 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSet(n int, seed int64) IntervalSet {
+	rng := rand.New(rand.NewSource(seed))
+	var s IntervalSet
+	for i := 0; i < n; i++ {
+		start := Time(rng.Intn(1_000_000))
+		s.Add(Interval{start, start + Time(1+rng.Intn(500))})
+	}
+	return s
+}
+
+func BenchmarkAddSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s IntervalSet
+		for j := Time(0); j < 256; j++ {
+			s.Add(Interval{j * 10, j*10 + 5})
+		}
+	}
+}
+
+func BenchmarkAddRandom(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		randomSet(256, int64(i))
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := randomSet(256, 1)
+	y := randomSet(256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(x, y)
+	}
+}
+
+func BenchmarkComplementWithin(b *testing.B) {
+	s := randomSet(512, 3)
+	w := Interval{0, 2_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ComplementWithin(w)
+	}
+}
+
+func BenchmarkTakeFirst(b *testing.B) {
+	s := randomSet(512, 4).ComplementWithin(Interval{0, 2_000_000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TakeFirst(Time(i%100_000), 5_000)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	s := randomSet(512, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(Time(i % 1_000_000))
+	}
+}

@@ -1,0 +1,33 @@
+package simtime_test
+
+import (
+	"fmt"
+
+	"taps/internal/simtime"
+)
+
+// ExampleIntervalSet_TakeFirst shows the Alg. 3 allocation primitive:
+// find the earliest E idle microseconds of a link and the resulting
+// completion instant.
+func ExampleIntervalSet_TakeFirst() {
+	// The link is busy during [0,5) and [10,20).
+	var occupied simtime.IntervalSet
+	occupied.Add(simtime.Interval{Start: 0, End: 5})
+	occupied.Add(simtime.Interval{Start: 10, End: 20})
+
+	idle := occupied.ComplementWithin(simtime.Interval{Start: 0, End: 100})
+	slices, finish, ok := idle.TakeFirst(0, 8)
+	fmt.Println(slices, finish, ok)
+	// Output:
+	// {[5,10) [20,23)} 23 true
+}
+
+// ExampleUnion shows the occupied-union step of Alg. 3: a path is busy
+// whenever any of its links is.
+func ExampleUnion() {
+	link1 := simtime.NewIntervalSet(simtime.Interval{Start: 0, End: 10})
+	link2 := simtime.NewIntervalSet(simtime.Interval{Start: 5, End: 15})
+	fmt.Println(simtime.Union(link1, link2))
+	// Output:
+	// {[0,15)}
+}

@@ -1,0 +1,74 @@
+package simtime
+
+import "testing"
+
+// FuzzIntervalSetOps drives Add/Remove sequences from raw bytes and checks
+// the representation invariants plus measure sanity after every step.
+func FuzzIntervalSetOps(f *testing.F) {
+	f.Add([]byte{1, 0, 10, 1, 5, 20, 0, 3, 8})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 255, 1, 1, 1, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s IntervalSet
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 2
+			a := Time(data[i+1])
+			b := Time(data[i+2])
+			iv := Interval{Start: a, End: a + b%64}
+			before := s.Total()
+			switch op {
+			case 0:
+				s.Add(iv)
+				if s.Total() < before || s.Total() > before+iv.Len() {
+					t.Fatalf("Add measure out of bounds: %d -> %d (+%d)", before, s.Total(), iv.Len())
+				}
+			case 1:
+				s.Remove(iv)
+				if s.Total() > before || s.Total() < before-iv.Len() {
+					t.Fatalf("Remove measure out of bounds: %d -> %d (-%d)", before, s.Total(), iv.Len())
+				}
+			}
+			if !s.Valid() {
+				t.Fatalf("invariants violated: %v", s)
+			}
+		}
+		// Complement must partition an enclosing window.
+		w := Interval{0, 400}
+		comp := s.ComplementWithin(w)
+		inW := Intersect(s, NewIntervalSet(w))
+		if comp.Total()+inW.Total() != w.Len() {
+			t.Fatalf("complement does not partition: %d + %d != %d",
+				comp.Total(), inW.Total(), w.Len())
+		}
+	})
+}
+
+// FuzzTakeFirst checks the allocation postconditions on arbitrary sets.
+func FuzzTakeFirst(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 30}, uint8(5), uint8(15))
+	f.Fuzz(func(t *testing.T, data []byte, from, units uint8) {
+		var s IntervalSet
+		for i := 0; i+1 < len(data); i += 2 {
+			a := Time(data[i])
+			s.Add(Interval{a, a + Time(data[i+1])%32})
+		}
+		taken, finish, ok := s.TakeFirst(Time(from), Time(units))
+		if !taken.Valid() {
+			t.Fatal("taken set invalid")
+		}
+		if Intersect(taken, s).Total() != taken.Total() {
+			t.Fatal("taken is not a subset")
+		}
+		if ok && taken.Total() != Time(units) {
+			t.Fatalf("ok but took %d of %d", taken.Total(), units)
+		}
+		if !ok && taken.Total() >= Time(units) && units > 0 {
+			t.Fatal("not ok but enough was taken")
+		}
+		for _, iv := range taken.Intervals() {
+			if iv.Start < Time(from) || iv.End > finish {
+				t.Fatalf("slice %v outside [from=%d, finish=%d]", iv, from, finish)
+			}
+		}
+	})
+}

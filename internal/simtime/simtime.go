@@ -1,0 +1,328 @@
+// Package simtime provides the time primitives used throughout the TAPS
+// reproduction: an integer microsecond clock, half-open intervals, and
+// disjoint sorted interval sets with the union / complement / first-N-units
+// operations that the TAPS controller's time-slice allocator (Alg. 3 of the
+// paper) is built on.
+//
+// All times are int64 microseconds. Intervals are half-open [Start, End).
+// The zero IntervalSet is an empty, ready-to-use set.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Time is an instant or duration in integer microseconds.
+type Time = int64
+
+// Common time constants, in microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+
+	// Infinity is a sentinel "never" instant. It is far enough in the
+	// future that no arithmetic in the simulator overflows.
+	Infinity Time = math.MaxInt64 / 4
+)
+
+// FromMillis converts milliseconds to Time.
+func FromMillis(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+// ToMillis converts a Time to float milliseconds.
+func ToMillis(t Time) float64 { return float64(t) / float64(Millisecond) }
+
+// Interval is a half-open time interval [Start, End). An Interval with
+// End <= Start is empty.
+type Interval struct {
+	Start, End Time
+}
+
+// Len returns the length of the interval, which is zero for empty intervals.
+func (iv Interval) Len() Time {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Empty reports whether the interval contains no instants.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether t lies inside [Start, End).
+func (iv Interval) Contains(t Time) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether the two intervals share at least one instant.
+// Empty intervals overlap nothing.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Empty() && !o.Empty() && iv.Start < o.End && o.Start < iv.End
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	s, e := max(iv.Start, o.Start), min(iv.End, o.End)
+	return Interval{s, e}
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+// IntervalSet is a set of instants represented as sorted, disjoint,
+// non-adjacent, non-empty intervals. The zero value is the empty set.
+//
+// IntervalSet values are not safe for concurrent mutation.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// NewIntervalSet builds a set from arbitrary intervals (they may overlap,
+// touch, be empty, or be out of order; the result is normalized).
+func NewIntervalSet(ivs ...Interval) IntervalSet {
+	var s IntervalSet
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Clone returns an independent copy of the set.
+func (s IntervalSet) Clone() IntervalSet {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return IntervalSet{ivs: out}
+}
+
+// Intervals returns the normalized intervals of the set. The returned slice
+// must not be mutated.
+func (s IntervalSet) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set contains no instants.
+func (s IntervalSet) Empty() bool { return len(s.ivs) == 0 }
+
+// Count returns the number of maximal intervals in the set.
+func (s IntervalSet) Count() int { return len(s.ivs) }
+
+// Total returns the total measure (sum of interval lengths) of the set.
+func (s IntervalSet) Total() Time {
+	var t Time
+	for _, iv := range s.ivs {
+		t += iv.Len()
+	}
+	return t
+}
+
+// Contains reports whether instant t is in the set.
+func (s IntervalSet) Contains(t Time) bool {
+	// Binary search for the first interval with End > t.
+	lo, hi := 0, len(s.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.ivs[mid].End <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.ivs) && s.ivs[lo].Contains(t)
+}
+
+// Add inserts the interval into the set, merging with neighbours.
+// Empty intervals are ignored. Adjacent intervals are coalesced.
+func (s *IntervalSet) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find insertion window: all intervals that overlap or touch iv.
+	lo := 0
+	for lo < len(s.ivs) && s.ivs[lo].End < iv.Start {
+		lo++
+	}
+	hi := lo
+	for hi < len(s.ivs) && s.ivs[hi].Start <= iv.End {
+		hi++
+	}
+	if lo < hi {
+		iv.Start = min(iv.Start, s.ivs[lo].Start)
+		iv.End = max(iv.End, s.ivs[hi-1].End)
+	}
+	s.ivs = append(s.ivs[:lo], append([]Interval{iv}, s.ivs[hi:]...)...)
+}
+
+// Remove deletes the interval's instants from the set.
+func (s *IntervalSet) Remove(iv Interval) {
+	if iv.Empty() || len(s.ivs) == 0 {
+		return
+	}
+	out := s.ivs[:0:0]
+	for _, cur := range s.ivs {
+		if !cur.Overlaps(iv) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Start < iv.Start {
+			out = append(out, Interval{cur.Start, iv.Start})
+		}
+		if cur.End > iv.End {
+			out = append(out, Interval{iv.End, cur.End})
+		}
+	}
+	s.ivs = out
+}
+
+// Union returns the union of the two sets.
+func Union(a, b IntervalSet) IntervalSet {
+	out := a.Clone()
+	for _, iv := range b.ivs {
+		out.Add(iv)
+	}
+	return out
+}
+
+// UnionInPlace adds every interval of b into s.
+func (s *IntervalSet) UnionInPlace(b *IntervalSet) {
+	for _, iv := range b.ivs {
+		s.Add(iv)
+	}
+}
+
+// Intersect returns the intersection of the two sets.
+func Intersect(a, b IntervalSet) IntervalSet {
+	var out IntervalSet
+	i, j := 0, 0
+	for i < len(a.ivs) && j < len(b.ivs) {
+		iv := a.ivs[i].Intersect(b.ivs[j])
+		if !iv.Empty() {
+			out.ivs = append(out.ivs, iv)
+		}
+		if a.ivs[i].End < b.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// ComplementWithin returns the instants of window that are NOT in s —
+// the "idle" time of window. This is the complement operation used by
+// Alg. 3: the complement of the occupied union is the idle time.
+func (s IntervalSet) ComplementWithin(window Interval) IntervalSet {
+	var out IntervalSet
+	if window.Empty() {
+		return out
+	}
+	cursor := window.Start
+	for _, iv := range s.ivs {
+		if iv.End <= cursor {
+			continue
+		}
+		if iv.Start >= window.End {
+			break
+		}
+		if iv.Start > cursor {
+			out.ivs = append(out.ivs, Interval{cursor, min(iv.Start, window.End)})
+		}
+		cursor = max(cursor, iv.End)
+		if cursor >= window.End {
+			break
+		}
+	}
+	if cursor < window.End {
+		out.ivs = append(out.ivs, Interval{cursor, window.End})
+	}
+	return out
+}
+
+// TakeFirst returns, as a new set, the earliest `units` microseconds of s at
+// or after `from`, together with the instant at which the last taken slice
+// ends (the completion time). If the set holds fewer than `units`
+// microseconds after `from`, ok is false and the returned set holds
+// everything available.
+//
+// This is the "first E idle time slices" step of Alg. 3.
+func (s IntervalSet) TakeFirst(from Time, units Time) (taken IntervalSet, finish Time, ok bool) {
+	if units <= 0 {
+		return IntervalSet{}, from, true
+	}
+	remaining := units
+	finish = from
+	for _, iv := range s.ivs {
+		if iv.End <= from {
+			continue
+		}
+		start := max(iv.Start, from)
+		length := iv.End - start
+		if length <= 0 {
+			continue
+		}
+		take := min(length, remaining)
+		taken.ivs = append(taken.ivs, Interval{start, start + take})
+		remaining -= take
+		finish = start + take
+		if remaining == 0 {
+			return taken, finish, true
+		}
+	}
+	return taken, finish, false
+}
+
+// NextInstantIn returns the earliest instant >= from contained in the set,
+// or (Infinity, false) if there is none.
+func (s IntervalSet) NextInstantIn(from Time) (Time, bool) {
+	for _, iv := range s.ivs {
+		if iv.End <= from {
+			continue
+		}
+		return max(iv.Start, from), true
+	}
+	return Infinity, false
+}
+
+// NextBoundaryAfter returns the earliest interval boundary (start or end)
+// strictly greater than t, or Infinity if none exists. The simulator uses it
+// to find the next instant a plan-following rate changes.
+func (s IntervalSet) NextBoundaryAfter(t Time) Time {
+	for _, iv := range s.ivs {
+		if iv.Start > t {
+			return iv.Start
+		}
+		if iv.End > t {
+			return iv.End
+		}
+	}
+	return Infinity
+}
+
+// GCBefore removes all instants strictly before t. Planners call this to
+// drop occupancy records that can no longer influence allocation.
+func (s *IntervalSet) GCBefore(t Time) {
+	s.Remove(Interval{Start: math.MinInt64 / 4, End: t})
+}
+
+// Valid reports whether the internal representation invariants hold:
+// sorted, disjoint, non-adjacent, non-empty intervals. It exists for tests.
+func (s IntervalSet) Valid() bool {
+	for i, iv := range s.ivs {
+		if iv.Empty() {
+			return false
+		}
+		if i > 0 && s.ivs[i-1].End >= iv.Start {
+			return false
+		}
+	}
+	return true
+}
+
+func (s IntervalSet) String() string {
+	if len(s.ivs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,493 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ts(pairs ...Time) IntervalSet {
+	var s IntervalSet
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Add(Interval{pairs[i], pairs[i+1]})
+	}
+	return s
+}
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want Time
+	}{
+		{Interval{0, 10}, 10},
+		{Interval{5, 5}, 0},
+		{Interval{7, 3}, 0},
+		{Interval{-5, 5}, 10},
+	}
+	for _, c := range cases {
+		if got := c.iv.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if !(Interval{4, 4}).Empty() {
+		t.Error("[4,4) should be empty")
+	}
+	if !(Interval{9, 2}).Empty() {
+		t.Error("[9,2) should be empty")
+	}
+	if (Interval{1, 2}).Empty() {
+		t.Error("[1,2) should not be empty")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{10, 20}
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{0, 10}
+	cases := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{10, 20}, false}, // touching, half-open
+		{Interval{9, 20}, true},
+		{Interval{-5, 0}, false},
+		{Interval{-5, 1}, true},
+		{Interval{3, 4}, true},
+		{Interval{4, 4}, false}, // empty
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{0, 10}
+	got := a.Intersect(Interval{5, 15})
+	if got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(Interval{20, 30}).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+}
+
+func TestAddMergesOverlapping(t *testing.T) {
+	s := ts(0, 10, 5, 15)
+	if s.Count() != 1 || s.Total() != 15 {
+		t.Fatalf("got %v", s)
+	}
+}
+
+func TestAddCoalescesAdjacent(t *testing.T) {
+	s := ts(0, 10, 10, 20)
+	if s.Count() != 1 {
+		t.Fatalf("adjacent intervals should coalesce: %v", s)
+	}
+	if s.Total() != 20 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestAddKeepsDisjoint(t *testing.T) {
+	s := ts(0, 10, 20, 30)
+	if s.Count() != 2 || s.Total() != 20 {
+		t.Fatalf("got %v", s)
+	}
+}
+
+func TestAddIgnoresEmpty(t *testing.T) {
+	s := ts(5, 5, 9, 2)
+	if !s.Empty() {
+		t.Fatalf("empty adds should leave the set empty: %v", s)
+	}
+}
+
+func TestAddOutOfOrder(t *testing.T) {
+	s := ts(50, 60, 0, 10, 20, 30, 8, 22)
+	// 0-10 and 20-30 are bridged by 8-22 -> [0,30) and [50,60)
+	if s.Count() != 2 || s.Total() != 40 {
+		t.Fatalf("got %v", s)
+	}
+	if !s.Valid() {
+		t.Fatalf("invariants violated: %v", s)
+	}
+}
+
+func TestRemoveSplits(t *testing.T) {
+	s := ts(0, 30)
+	s.Remove(Interval{10, 20})
+	want := ts(0, 10, 20, 30)
+	if s.String() != want.String() {
+		t.Fatalf("got %v want %v", s, want)
+	}
+}
+
+func TestRemoveWholeAndPartial(t *testing.T) {
+	s := ts(0, 10, 20, 30, 40, 50)
+	s.Remove(Interval{5, 45})
+	want := ts(0, 5, 45, 50)
+	if s.String() != want.String() {
+		t.Fatalf("got %v want %v", s, want)
+	}
+}
+
+func TestRemoveNoop(t *testing.T) {
+	s := ts(10, 20)
+	s.Remove(Interval{0, 5})
+	s.Remove(Interval{30, 40})
+	s.Remove(Interval{3, 3})
+	if s.String() != ts(10, 20).String() {
+		t.Fatalf("got %v", s)
+	}
+}
+
+func TestContainsBinarySearch(t *testing.T) {
+	s := ts(0, 10, 20, 30, 40, 50)
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{{-1, false}, {0, true}, {9, true}, {10, false}, {15, false}, {20, true}, {29, true}, {30, false}, {49, true}, {50, false}, {1000, false}} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := ts(0, 10, 20, 30)
+	b := ts(5, 25, 40, 50)
+	u := Union(a, b)
+	want := ts(0, 30, 40, 50)
+	if u.String() != want.String() {
+		t.Fatalf("got %v want %v", u, want)
+	}
+	// Union must not mutate inputs.
+	if a.String() != ts(0, 10, 20, 30).String() {
+		t.Fatal("Union mutated its first argument")
+	}
+}
+
+func TestIntersectSets(t *testing.T) {
+	a := ts(0, 10, 20, 30)
+	b := ts(5, 25)
+	got := Intersect(a, b)
+	want := ts(5, 10, 20, 25)
+	if got.String() != want.String() {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestComplementWithin(t *testing.T) {
+	s := ts(10, 20, 30, 40)
+	got := s.ComplementWithin(Interval{0, 50})
+	want := ts(0, 10, 20, 30, 40, 50)
+	if got.String() != want.String() {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestComplementWithinClipped(t *testing.T) {
+	s := ts(10, 20)
+	got := s.ComplementWithin(Interval{15, 18})
+	if !got.Empty() {
+		t.Fatalf("window inside occupied should be empty, got %v", got)
+	}
+	got = s.ComplementWithin(Interval{12, 25})
+	want := ts(20, 25)
+	if got.String() != want.String() {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestComplementOfEmpty(t *testing.T) {
+	var s IntervalSet
+	got := s.ComplementWithin(Interval{5, 15})
+	if got.String() != ts(5, 15).String() {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTakeFirstExact(t *testing.T) {
+	s := ts(0, 5, 10, 20)
+	taken, finish, ok := s.TakeFirst(0, 8)
+	if !ok || finish != 13 {
+		t.Fatalf("ok=%v finish=%d", ok, finish)
+	}
+	want := ts(0, 5, 10, 13)
+	if taken.String() != want.String() {
+		t.Fatalf("taken %v want %v", taken, want)
+	}
+}
+
+func TestTakeFirstFrom(t *testing.T) {
+	s := ts(0, 100)
+	taken, finish, ok := s.TakeFirst(40, 10)
+	if !ok || finish != 50 {
+		t.Fatalf("ok=%v finish=%d", ok, finish)
+	}
+	if taken.String() != ts(40, 50).String() {
+		t.Fatalf("taken %v", taken)
+	}
+}
+
+func TestTakeFirstInsufficient(t *testing.T) {
+	s := ts(0, 5)
+	taken, _, ok := s.TakeFirst(0, 10)
+	if ok {
+		t.Fatal("expected not ok")
+	}
+	if taken.Total() != 5 {
+		t.Fatalf("partial take = %d", taken.Total())
+	}
+}
+
+func TestTakeFirstZeroUnits(t *testing.T) {
+	s := ts(10, 20)
+	taken, finish, ok := s.TakeFirst(5, 0)
+	if !ok || finish != 5 || !taken.Empty() {
+		t.Fatalf("taken=%v finish=%d ok=%v", taken, finish, ok)
+	}
+}
+
+func TestNextInstantIn(t *testing.T) {
+	s := ts(10, 20, 30, 40)
+	if got, ok := s.NextInstantIn(0); !ok || got != 10 {
+		t.Fatalf("got %d ok %v", got, ok)
+	}
+	if got, ok := s.NextInstantIn(15); !ok || got != 15 {
+		t.Fatalf("got %d ok %v", got, ok)
+	}
+	if got, ok := s.NextInstantIn(25); !ok || got != 30 {
+		t.Fatalf("got %d ok %v", got, ok)
+	}
+	if _, ok := s.NextInstantIn(40); ok {
+		t.Fatal("expected none")
+	}
+}
+
+func TestNextBoundaryAfter(t *testing.T) {
+	s := ts(10, 20, 30, 40)
+	for _, tc := range []struct{ t, want Time }{
+		{0, 10}, {10, 20}, {15, 20}, {20, 30}, {35, 40}, {40, Infinity},
+	} {
+		if got := s.NextBoundaryAfter(tc.t); got != tc.want {
+			t.Errorf("NextBoundaryAfter(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestGCBefore(t *testing.T) {
+	s := ts(0, 10, 20, 30)
+	s.GCBefore(25)
+	if s.String() != ts(25, 30).String() {
+		t.Fatalf("got %v", s)
+	}
+}
+
+func TestFromToMillis(t *testing.T) {
+	if FromMillis(40) != 40*Millisecond {
+		t.Fatal("FromMillis")
+	}
+	if ToMillis(1500) != 1.5 {
+		t.Fatal("ToMillis")
+	}
+	if FromMillis(0.5) != 500 {
+		t.Fatal("FromMillis fractional")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := ts(0, 10)
+	b := a.Clone()
+	b.Add(Interval{20, 30})
+	if a.Count() != 1 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+// --- property-based tests ---
+
+// randSet builds a normalized set from a random source plus the list of raw
+// intervals that produced it.
+func randSet(r *rand.Rand, maxIv int) (IntervalSet, []Interval) {
+	var s IntervalSet
+	n := r.Intn(maxIv)
+	raw := make([]Interval, 0, n)
+	for i := 0; i < n; i++ {
+		start := Time(r.Intn(1000))
+		iv := Interval{start, start + Time(r.Intn(50))}
+		raw = append(raw, iv)
+		s.Add(iv)
+	}
+	return s, raw
+}
+
+func TestPropAddPreservesInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randSet(r, 40)
+		return s.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMembershipMatchesRawIntervals(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, raw := randSet(r, 20)
+		for probe := Time(0); probe < 1100; probe += 7 {
+			want := false
+			for _, iv := range raw {
+				if iv.Contains(probe) {
+					want = true
+					break
+				}
+			}
+			if s.Contains(probe) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropComplementPartitionsWindow(t *testing.T) {
+	window := Interval{0, 1200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randSet(r, 30)
+		comp := s.ComplementWithin(window)
+		if !comp.Valid() {
+			return false
+		}
+		inWindow := Intersect(s, NewIntervalSet(window))
+		// Measure is partitioned.
+		if comp.Total()+inWindow.Total() != window.Len() {
+			return false
+		}
+		// Complement and set are disjoint.
+		if !Intersect(comp, s).Empty() {
+			return false
+		}
+		// Every window instant is in exactly one side.
+		for probe := window.Start; probe < window.End; probe += 13 {
+			if s.Contains(probe) == comp.Contains(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRemoveThenContainsFalse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randSet(r, 30)
+		start := Time(r.Intn(1000))
+		iv := Interval{start, start + Time(r.Intn(100))}
+		s.Remove(iv)
+		if !s.Valid() {
+			return false
+		}
+		for probe := iv.Start; probe < iv.End; probe += 3 {
+			if s.Contains(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTakeFirstMeasureAndSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randSet(r, 30)
+		from := Time(r.Intn(500))
+		units := Time(r.Intn(200))
+		taken, finish, ok := s.TakeFirst(from, units)
+		if !taken.Valid() {
+			return false
+		}
+		// taken is a subset of s at or after from.
+		if Intersect(taken, s).Total() != taken.Total() {
+			return false
+		}
+		for _, iv := range taken.Intervals() {
+			if iv.Start < from {
+				return false
+			}
+			if iv.End > finish {
+				return false
+			}
+		}
+		if ok {
+			if taken.Total() != units {
+				return false
+			}
+			// finish is the end of the last slice (or from for 0 units).
+			if units > 0 && !taken.Contains(finish-1) {
+				return false
+			}
+		} else {
+			if taken.Total() >= units {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randSet(r, 20)
+		b, _ := randSet(r, 20)
+		return Union(a, b).String() == Union(b, a).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionTotalAtLeastMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randSet(r, 20)
+		b, _ := randSet(r, 20)
+		u := Union(a, b)
+		return u.Total() >= a.Total() && u.Total() >= b.Total() &&
+			u.Total() <= a.Total()+b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

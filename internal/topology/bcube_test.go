@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBCubeCounts(t *testing.T) {
+	// BCube(4,1): 16 servers with 2 ports, 2 levels x 4 switches.
+	g, _ := BCube(BCubeSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	if len(g.Hosts()) != 16 {
+		t.Fatalf("servers = %d", len(g.Hosts()))
+	}
+	if g.NumNodes() != 16+8 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// 16 servers x 2 ports duplex = 64 directed links.
+	if g.NumLinks() != 64 {
+		t.Fatalf("links = %d", g.NumLinks())
+	}
+}
+
+func TestBCubeK0IsOneSwitch(t *testing.T) {
+	g, r := BCube(BCubeSpec{N: 4, K: 0, LinkCapacity: Gbps(1)})
+	if len(g.Hosts()) != 4 || g.NumNodes() != 5 {
+		t.Fatalf("nodes = %d hosts = %d", g.NumNodes(), len(g.Hosts()))
+	}
+	ps := r.Paths(g.Hosts()[0], g.Hosts()[3], 0, 0)
+	if len(ps) != 1 || len(ps[0]) != 2 {
+		t.Fatalf("paths = %v", ps)
+	}
+}
+
+func TestBCubeInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BCube(BCubeSpec{N: 1, K: 1, LinkCapacity: 1})
+}
+
+func TestBCubePathsValidAndShortest(t *testing.T) {
+	g, r := BCube(BCubeSpec{N: 2, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}} {
+		src, dst := hosts[pair[0]], hosts[pair[1]]
+		ps := r.Paths(src, dst, 0, 0)
+		bfs := ShortestPaths(g, src, dst, 0)
+		if len(ps) == 0 {
+			t.Fatalf("pair %v: no paths", pair)
+		}
+		for _, p := range ps {
+			if !g.ValidPath(p, src, dst) {
+				t.Fatalf("pair %v: invalid path %v", pair, p)
+			}
+			if len(p) != len(bfs[0]) {
+				t.Fatalf("pair %v: path length %d, shortest is %d", pair, len(p), len(bfs[0]))
+			}
+		}
+	}
+}
+
+func TestBCubeParallelPathsDisjoint(t *testing.T) {
+	// Servers differing in both digits have 2 rotation paths whose
+	// intermediate servers differ.
+	g, r := BCube(BCubeSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[5] // digits 00 -> 11: differ in both
+	ps := r.Paths(src, dst, 0, 0)
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2 rotations", len(ps))
+	}
+	mids := map[string]bool{}
+	for _, p := range ps {
+		nodes := g.PathNodes(p)
+		// server, switch, server, switch, server
+		if len(nodes) != 5 {
+			t.Fatalf("unexpected hop count: %v", nodes)
+		}
+		mids[fmt.Sprint(nodes[2])] = true
+	}
+	if len(mids) != 2 {
+		t.Fatal("rotation paths share the intermediate server")
+	}
+}
+
+func TestBCubeSameDigitOneHop(t *testing.T) {
+	g, r := BCube(BCubeSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	// hosts 0 and 1 differ only in digit 0: one switch hop.
+	ps := r.Paths(hosts[0], hosts[1], 0, 0)
+	if len(ps) != 1 || len(ps[0]) != 2 {
+		t.Fatalf("paths = %v", ps)
+	}
+}
+
+func TestBCubeMaxAndRotation(t *testing.T) {
+	g, r := BCube(BCubeSpec{N: 4, K: 2, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	// 000 -> 111 (addresses 0 and 1+4+16=21): all 3 digits differ.
+	src, dst := hosts[0], hosts[21]
+	all := r.Paths(src, dst, 0, 0)
+	if len(all) != 3 {
+		t.Fatalf("rotations = %d, want 3", len(all))
+	}
+	one := r.Paths(src, dst, 1, 0)
+	oneRot := r.Paths(src, dst, 1, 1)
+	if len(one) != 1 || len(oneRot) != 1 {
+		t.Fatal("max=1 must return one path")
+	}
+	if fmt.Sprint(one[0]) == fmt.Sprint(oneRot[0]) {
+		t.Fatal("key rotation should change the first path")
+	}
+	for _, p := range all {
+		if !g.ValidPath(p, src, dst) {
+			t.Fatalf("invalid path %v", p)
+		}
+	}
+}
+
+func TestPropBCubePathsAlwaysValid(t *testing.T) {
+	g, r := BCube(BCubeSpec{N: 3, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for _, p := range r.Paths(src, dst, rng.Intn(4), rng.Uint64()) {
+			if !g.ValidPath(p, src, dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkBuildFatTree(b *testing.B) {
+	for _, k := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				FatTree(FatTreeSpec{K: k, LinkCapacity: Gbps(1)})
+			}
+		})
+	}
+}
+
+func BenchmarkBuildPaperTree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SingleRootedTree(PaperSingleRootedTree())
+	}
+}
+
+func BenchmarkFatTreePathsInterPod(b *testing.B) {
+	g, r := FatTree(FatTreeSpec{K: 16, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	for _, max := range []int{1, 16, 0} {
+		b.Run(fmt.Sprintf("max=%d", max), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.Paths(src, dst, max, uint64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkTreePathLookup(b *testing.B) {
+	g, r := SingleRootedTree(SingleRootedTreeSpec{
+		Pods: 30, RacksPerPod: 30, HostsPerRack: 40, LinkCapacity: Gbps(1),
+	})
+	hosts := g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Paths(hosts[i%len(hosts)], hosts[(i*31+17)%len(hosts)], 0, 0)
+	}
+}
+
+func BenchmarkBFSShortestPaths(b *testing.B) {
+	g, _ := FatTree(FatTreeSpec{K: 8, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ShortestPaths(g, hosts[0], hosts[len(hosts)-1], 0)
+	}
+}
+
+func BenchmarkCachedRouting(b *testing.B) {
+	g, r := FatTree(FatTreeSpec{K: 16, LinkCapacity: Gbps(1)})
+	cr := NewCachedRouting(r)
+	hosts := g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr.Paths(hosts[i%64], hosts[512+(i%64)], 16, uint64(i%8))
+	}
+}
+
+func BenchmarkBCubePaths(b *testing.B) {
+	g, r := BCube(BCubeSpec{N: 8, K: 2, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Paths(hosts[i%len(hosts)], hosts[(i*37+11)%len(hosts)], 0, uint64(i))
+	}
+}

@@ -1,0 +1,95 @@
+package topology
+
+import "fmt"
+
+// FiConnSpec describes a FiConn(n, k) (Li et al., INFOCOM'09), the
+// second server-centric architecture the paper cites (§II): servers have
+// exactly two ports — one to their rack switch, one backup port used to
+// interconnect recursive units directly, server to server.
+//
+// FiConn_0 is n servers on one switch, every backup port idle. FiConn_k
+// takes g_k = b/2 + 1 copies of FiConn_{k-1} (b = idle backup ports per
+// copy) and joins every pair of copies with one server-to-server link,
+// consuming half of each copy's idle ports.
+type FiConnSpec struct {
+	N            int // servers per FiConn_0 switch (even, >= 2)
+	K            int // recursion depth (>= 0)
+	LinkCapacity float64
+}
+
+// FiConn builds the FiConn(n, k) graph. Routing uses BFS shortest paths
+// (cache with NewCachedRouting for repeated queries); FiConn's own
+// traffic-aware routing is beyond what the TAPS evaluation needs.
+func FiConn(spec FiConnSpec) (*Graph, Routing) {
+	if spec.N < 2 || spec.N%2 != 0 || spec.K < 0 {
+		panic(fmt.Sprintf("topology: FiConn needs even n >= 2 and k >= 0; got n=%d k=%d", spec.N, spec.K))
+	}
+	g := NewGraph()
+	b := &ficonnBuilder{g: g, spec: spec}
+	b.build(spec.K)
+	return g, &bfsRouting{g: g}
+}
+
+type ficonnBuilder struct {
+	g        *Graph
+	spec     FiConnSpec
+	switches int
+}
+
+// build constructs one FiConn_k unit and returns its servers together
+// with their backup-port-idle flags.
+func (b *ficonnBuilder) build(k int) (servers []NodeID, free []bool) {
+	if k == 0 {
+		sw := b.g.AddNode(ToR, fmt.Sprintf("fsw%d", b.switches), 1, b.switches)
+		b.switches++
+		for i := 0; i < b.spec.N; i++ {
+			s := b.g.AddNode(Host, fmt.Sprintf("fs%d.%d", b.switches-1, i), 0, b.switches-1)
+			b.g.AddDuplex(s, sw, b.spec.LinkCapacity)
+			servers = append(servers, s)
+			free = append(free, true)
+		}
+		return servers, free
+	}
+	// Probe the idle-port count of a level k-1 unit by building the
+	// first one, then the rest.
+	first, firstFree := b.build(k - 1)
+	idle := 0
+	for _, f := range firstFree {
+		if f {
+			idle++
+		}
+	}
+	gk := idle/2 + 1
+	units := make([][]NodeID, gk)
+	frees := make([][]bool, gk)
+	units[0], frees[0] = first, firstFree
+	for u := 1; u < gk; u++ {
+		units[u], frees[u] = b.build(k - 1)
+	}
+	// freeIdx[u] lists the unit's idle servers in index order.
+	freeIdx := make([][]int, gk)
+	for u := range units {
+		for i, f := range frees[u] {
+			if f {
+				freeIdx[u] = append(freeIdx[u], i)
+			}
+		}
+	}
+	// Complete graph over units: pair (i, j), i < j, uses unit i's
+	// (j-1)-th idle server and unit j's i-th idle server — each unit
+	// spends its first g_k-1 = idle/2 idle ports.
+	for i := 0; i < gk; i++ {
+		for j := i + 1; j < gk; j++ {
+			si := freeIdx[i][j-1]
+			sj := freeIdx[j][i]
+			b.g.AddDuplex(units[i][si], units[j][sj], b.spec.LinkCapacity)
+			frees[i][si] = false
+			frees[j][sj] = false
+		}
+	}
+	for u := range units {
+		servers = append(servers, units[u]...)
+		free = append(free, frees[u]...)
+	}
+	return servers, free
+}

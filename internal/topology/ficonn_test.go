@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiConn0(t *testing.T) {
+	g, r := FiConn(FiConnSpec{N: 4, K: 0, LinkCapacity: Gbps(1)})
+	if len(g.Hosts()) != 4 || g.NumNodes() != 5 {
+		t.Fatalf("hosts=%d nodes=%d", len(g.Hosts()), g.NumNodes())
+	}
+	ps := r.Paths(g.Hosts()[0], g.Hosts()[3], 0, 0)
+	if len(ps) != 1 || len(ps[0]) != 2 {
+		t.Fatalf("paths = %v", ps)
+	}
+}
+
+func TestFiConn1Counts(t *testing.T) {
+	// FiConn(4,1): b=4 idle ports per FiConn_0, g_1 = 3 units ->
+	// 12 servers, 3 switches, 3 level-1 server-server links.
+	g, _ := FiConn(FiConnSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	if len(g.Hosts()) != 12 {
+		t.Fatalf("hosts = %d", len(g.Hosts()))
+	}
+	if g.NumNodes() != 15 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// 12 server-switch duplex + 3 server-server duplex = 30 directed.
+	if g.NumLinks() != 30 {
+		t.Fatalf("links = %d", g.NumLinks())
+	}
+}
+
+func TestFiConn2Counts(t *testing.T) {
+	// FiConn(4,2): FiConn_1 has 12 servers with 6 idle ports ->
+	// g_2 = 4 units of 12 servers = 48 servers.
+	g, _ := FiConn(FiConnSpec{N: 4, K: 2, LinkCapacity: Gbps(1)})
+	if len(g.Hosts()) != 48 {
+		t.Fatalf("hosts = %d", len(g.Hosts()))
+	}
+}
+
+func TestFiConnServerDegreeAtMostTwo(t *testing.T) {
+	g, _ := FiConn(FiConnSpec{N: 4, K: 2, LinkCapacity: Gbps(1)})
+	outDeg := make(map[NodeID]int)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		outDeg[l.Src]++
+	}
+	for _, h := range g.Hosts() {
+		if outDeg[h] > 2 {
+			t.Fatalf("server %d has %d ports; FiConn servers have 2", h, outDeg[h])
+		}
+	}
+}
+
+func TestFiConnFullyConnected(t *testing.T) {
+	g, r := FiConn(FiConnSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	for _, src := range hosts[:3] {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			ps := r.Paths(src, dst, 1, 0)
+			if len(ps) == 0 {
+				t.Fatalf("no path %d -> %d", src, dst)
+			}
+			if !g.ValidPath(ps[0], src, dst) {
+				t.Fatalf("invalid path %v", ps[0])
+			}
+		}
+	}
+}
+
+func TestFiConnInvalidSpecPanics(t *testing.T) {
+	for _, spec := range []FiConnSpec{{N: 3, K: 1}, {N: 0, K: 0}, {N: 4, K: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %+v should panic", spec)
+				}
+			}()
+			FiConn(FiConnSpec{N: spec.N, K: spec.K, LinkCapacity: 1})
+		}()
+	}
+}
+
+func TestPropFiConnPathsValid(t *testing.T) {
+	g, r := FiConn(FiConnSpec{N: 4, K: 1, LinkCapacity: Gbps(1)})
+	hosts := g.Hosts()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for _, p := range r.Paths(src, dst, rng.Intn(3), rng.Uint64()) {
+			if !g.ValidPath(p, src, dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"taps/internal/core"
+	"taps/internal/sched/fairshare"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/trace"
+)
+
+func runTraced(t *testing.T, s sim.Scheduler, specs []sim.TaskSpec) *sim.Result {
+	t.Helper()
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	eng := sim.New(g, topology.NewBFSRouting(g), s, specs, sim.Config{
+		Validate: true, RecordSegments: true, MaxTime: simtime.Time(1e10),
+	})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func specsAB() []sim.TaskSpec {
+	// Node IDs are deterministic: a=1, b=2.
+	return []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond, Flows: []sim.FlowSpec{
+			{Src: 1, Dst: 2, Size: 2000},
+			{Src: 1, Dst: 2, Size: 3000},
+		}},
+	}
+}
+
+func TestSegmentsRecorded(t *testing.T) {
+	res := runTraced(t, core.New(core.DefaultConfig()), specsAB())
+	if res.Segments == nil {
+		t.Fatal("no segments recorded")
+	}
+	// TAPS serializes: flow 0 [0,2ms) at line rate, flow 1 [2,5ms).
+	s0 := res.Segments[0]
+	if len(s0) != 1 || s0[0].Interval != (simtime.Interval{Start: 0, End: 2000}) {
+		t.Fatalf("flow 0 segments = %+v", s0)
+	}
+	if s0[0].Rate != 1e6 {
+		t.Fatalf("flow 0 rate = %g", s0[0].Rate)
+	}
+	s1 := res.Segments[1]
+	if len(s1) != 1 || s1[0].Interval != (simtime.Interval{Start: 2000, End: 5000}) {
+		t.Fatalf("flow 1 segments = %+v", s1)
+	}
+}
+
+func TestSegmentsCoalesced(t *testing.T) {
+	// Fair sharing holds a constant rate across many engine events; the
+	// recorded segments must be coalesced, not one per event.
+	res := runTraced(t, fairshare.New(), specsAB())
+	for id, segs := range res.Segments {
+		if len(segs) > 3 {
+			t.Fatalf("flow %d has %d segments; coalescing broken: %+v", id, len(segs), segs)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	res := runTraced(t, core.New(core.DefaultConfig()), specsAB())
+	out := trace.Gantt(res, trace.Options{Width: 40})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 2 flows + legend
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("flow 0 row missing transmission marks: %q", lines[1])
+	}
+	if !strings.Contains(out, "$") {
+		t.Fatal("on-time completion marker missing")
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("deadline marker missing")
+	}
+}
+
+func TestGanttPartialRateDigits(t *testing.T) {
+	res := runTraced(t, fairshare.New(), specsAB())
+	out := trace.Gantt(res, trace.Options{Width: 40, LineRate: 1e6})
+	// Two flows share the link at 1/2 line rate -> digit '5' appears.
+	if !strings.Contains(out, "5") {
+		t.Fatalf("expected half-rate digit in:\n%s", out)
+	}
+}
+
+func TestGanttKilledFlowMarker(t *testing.T) {
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: 1, Dst: 2, Size: 50000}}}}
+	res := runTraced(t, core.New(core.DefaultConfig()), specs)
+	out := trace.Gantt(res, trace.Options{Width: 30})
+	if !strings.Contains(out, "x") {
+		t.Fatalf("killed marker missing:\n%s", out)
+	}
+}
+
+func TestGanttMaxFlows(t *testing.T) {
+	res := runTraced(t, core.New(core.DefaultConfig()), specsAB())
+	out := trace.Gantt(res, trace.Options{Width: 30, MaxFlows: 1})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 1 flow + legend
+		t.Fatalf("MaxFlows not applied:\n%s", out)
+	}
+}

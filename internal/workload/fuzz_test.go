@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taps/internal/workload"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the trace loader: it must never
+// panic, and everything it accepts must round-trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"version":1,"tasks":[]}`))
+	f.Add([]byte(`{"version":1,"tasks":[{"Arrival":0,"Deadline":5,"Flows":[{"Src":1,"Dst":2,"Size":10}]}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, err := workload.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := workload.WriteJSON(&buf, tasks); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := workload.ReadJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if len(again) != len(tasks) {
+			t.Fatalf("round-trip length %d != %d", len(again), len(tasks))
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"taps/internal/sim"
+)
+
+// document is the stable JSON shape of a saved workload trace. Storing
+// traces (instead of regenerating them from a Spec) pins experiments to
+// exact inputs across code changes.
+type document struct {
+	Version int            `json:"version"`
+	Tasks   []sim.TaskSpec `json:"tasks"`
+}
+
+// traceVersion guards against silently loading incompatible files.
+const traceVersion = 1
+
+// WriteJSON serializes task specs as a workload trace.
+func WriteJSON(w io.Writer, tasks []sim.TaskSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(document{Version: traceVersion, Tasks: tasks}); err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a workload trace written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) ([]sim.TaskSpec, error) {
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if doc.Version != traceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, want %d", doc.Version, traceVersion)
+	}
+	for i, t := range doc.Tasks {
+		if t.Deadline < 1 {
+			return nil, fmt.Errorf("workload: task %d has non-positive deadline %d", i, t.Deadline)
+		}
+		if t.Arrival < 0 {
+			return nil, fmt.Errorf("workload: task %d has negative arrival %d", i, t.Arrival)
+		}
+		for j, f := range t.Flows {
+			if f.Size < 0 {
+				return nil, fmt.Errorf("workload: flow %d.%d has negative size %d", i, j, f.Size)
+			}
+			if f.Src == f.Dst {
+				return nil, fmt.Errorf("workload: flow %d.%d is a self flow", i, j)
+			}
+		}
+	}
+	return doc.Tasks, nil
+}

@@ -1,0 +1,73 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taps/internal/sim"
+	"taps/internal/workload"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{Tasks: 7, MeanFlowsPerTask: 5, Seed: 21})
+	var buf bytes.Buffer
+	if err := workload.WriteJSON(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("tasks = %d", len(got))
+	}
+	for i := range tasks {
+		if got[i].Arrival != tasks[i].Arrival || got[i].Deadline != tasks[i].Deadline {
+			t.Fatalf("task %d differs", i)
+		}
+		for j := range tasks[i].Flows {
+			if got[i].Flows[j] != tasks[i].Flows[j] {
+				t.Fatalf("flow %d.%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTraceRejectsBadVersion(t *testing.T) {
+	in := strings.NewReader(`{"version": 99, "tasks": []}`)
+	if _, err := workload.ReadJSON(in); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := workload.ReadJSON(strings.NewReader("nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTraceValidatesContent(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []sim.TaskSpec
+		want  string
+	}{
+		{"zero deadline", []sim.TaskSpec{{Deadline: 0}}, "deadline"},
+		{"negative arrival", []sim.TaskSpec{{Arrival: -1, Deadline: 5}}, "arrival"},
+		{"self flow", []sim.TaskSpec{{Deadline: 5,
+			Flows: []sim.FlowSpec{{Src: 3, Dst: 3, Size: 10}}}}, "self flow"},
+		{"negative size", []sim.TaskSpec{{Deadline: 5,
+			Flows: []sim.FlowSpec{{Src: 1, Dst: 2, Size: -1}}}}, "size"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := workload.WriteJSON(&buf, c.tasks); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := workload.ReadJSON(&buf); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}

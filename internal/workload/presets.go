@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Preset identifies one of the application classes §II quotes statistics
+// for: web search tasks carry at least 88 flows, MapReduce tasks 30 up to
+// 50,000+, and Cosmos tasks mostly 30-70 flows.
+type Preset uint8
+
+// Application presets.
+const (
+	// PresetWebSearch: partition/aggregate queries. >= 88 flows per
+	// task, small responses, tight deadlines (interactive SLA).
+	PresetWebSearch Preset = iota
+	// PresetMapReduce: shuffle stages. Heavy-tailed fan-out (log-normal
+	// around ~200, capped), bigger flows, looser deadlines.
+	PresetMapReduce
+	// PresetCosmos: 30-70 flows per task, medium flows and deadlines.
+	PresetCosmos
+)
+
+func (p Preset) String() string {
+	switch p {
+	case PresetWebSearch:
+		return "websearch"
+	case PresetMapReduce:
+		return "mapreduce"
+	case PresetCosmos:
+		return "cosmos"
+	}
+	return fmt.Sprintf("preset(%d)", uint8(p))
+}
+
+// MixSpec draws tasks from a weighted mixture of application presets — a
+// more structured alternative to the §V-A single-distribution generator
+// for workloads resembling a shared production cluster.
+type MixSpec struct {
+	Tasks       int
+	ArrivalRate float64 // tasks/second (Poisson), default 100
+	// Weights gives the relative frequency of each preset (zero-valued
+	// map or missing entries mean "unused"; an empty map defaults to
+	// equal thirds).
+	Weights map[Preset]float64
+	// ScaleFlows multiplies every preset's flow count (default 1); use
+	// <1 to shrink paper-realistic fan-outs to laptop scale.
+	ScaleFlows float64
+	Seed       int64
+}
+
+// presetParams are the §II-derived shapes.
+type presetParams struct {
+	minFlows, maxFlows int
+	logNormalMu        float64 // used by MapReduce (log flow count)
+	meanSize           int64
+	meanDeadline       simtime.Time
+}
+
+func params(p Preset) presetParams {
+	switch p {
+	case PresetWebSearch:
+		return presetParams{
+			minFlows: 88, maxFlows: 150,
+			meanSize:     20 * 1024,
+			meanDeadline: 25 * simtime.Millisecond,
+		}
+	case PresetMapReduce:
+		return presetParams{
+			minFlows: 30, maxFlows: 2000, logNormalMu: math.Log(200),
+			meanSize:     400 * 1024,
+			meanDeadline: 120 * simtime.Millisecond,
+		}
+	default: // Cosmos
+		return presetParams{
+			minFlows: 30, maxFlows: 70,
+			meanSize:     120 * 1024,
+			meanDeadline: 60 * simtime.Millisecond,
+		}
+	}
+}
+
+// GenerateMix draws a mixed workload over the topology. Tasks are tagged
+// by the returned preset slice (aligned by index) so callers can compute
+// per-class metrics.
+func GenerateMix(g *topology.Graph, spec MixSpec) ([]sim.TaskSpec, []Preset) {
+	hosts := g.Hosts()
+	if len(hosts) < 2 {
+		panic(fmt.Sprintf("workload: graph has %d hosts; need at least 2", len(hosts)))
+	}
+	if spec.ArrivalRate <= 0 {
+		spec.ArrivalRate = 100
+	}
+	if spec.ScaleFlows <= 0 {
+		spec.ScaleFlows = 1
+	}
+	weights := spec.Weights
+	if len(weights) == 0 {
+		weights = map[Preset]float64{PresetWebSearch: 1, PresetMapReduce: 1, PresetCosmos: 1}
+	}
+	order := []Preset{PresetWebSearch, PresetMapReduce, PresetCosmos}
+	var totalW float64
+	for _, p := range order {
+		totalW += weights[p]
+	}
+	if totalW <= 0 {
+		panic("workload: mixture weights sum to zero")
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var tasks []sim.TaskSpec
+	var kinds []Preset
+	var arrival simtime.Time
+	for i := 0; i < spec.Tasks; i++ {
+		if i > 0 {
+			arrival += expDuration(rng, 1/spec.ArrivalRate)
+		}
+		// Weighted preset draw.
+		x := rng.Float64() * totalW
+		preset := order[len(order)-1]
+		for _, p := range order {
+			if x < weights[p] {
+				preset = p
+				break
+			}
+			x -= weights[p]
+		}
+		pp := params(preset)
+
+		n := pp.minFlows
+		if preset == PresetMapReduce {
+			// Heavy tail: log-normal flow counts.
+			n = int(math.Exp(pp.logNormalMu + rng.NormFloat64()*0.8))
+		} else if pp.maxFlows > pp.minFlows {
+			n = pp.minFlows + rng.Intn(pp.maxFlows-pp.minFlows+1)
+		}
+		n = int(float64(n) * spec.ScaleFlows)
+		n = min(max(n, 1), int(float64(pp.maxFlows)*spec.ScaleFlows)+1)
+
+		deadline := expDuration(rng, float64(pp.meanDeadline)/1e6)
+		task := sim.TaskSpec{Arrival: arrival, Deadline: deadline}
+		for j := 0; j < n; j++ {
+			size := int64(math.Round(rng.NormFloat64()*float64(pp.meanSize)/4)) + pp.meanSize
+			if size < 1024 {
+				size = 1024
+			}
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			task.Flows = append(task.Flows, sim.FlowSpec{Src: src, Dst: dst, Size: size})
+		}
+		tasks = append(tasks, task)
+		kinds = append(kinds, preset)
+	}
+	return tasks, kinds
+}

@@ -1,0 +1,128 @@
+package workload_test
+
+import (
+	"testing"
+
+	"taps/internal/workload"
+)
+
+func TestPresetString(t *testing.T) {
+	for p, want := range map[workload.Preset]string{
+		workload.PresetWebSearch: "websearch",
+		workload.PresetMapReduce: "mapreduce",
+		workload.PresetCosmos:    "cosmos",
+	} {
+		if p.String() != want {
+			t.Errorf("%v", p)
+		}
+	}
+}
+
+func TestGenerateMixDeterministic(t *testing.T) {
+	g := tree()
+	spec := workload.MixSpec{Tasks: 20, Seed: 7, ScaleFlows: 0.2}
+	a, ka := workload.GenerateMix(g, spec)
+	b, kb := workload.GenerateMix(g, spec)
+	if len(a) != 20 || len(ka) != 20 {
+		t.Fatalf("lengths %d %d", len(a), len(ka))
+	}
+	for i := range a {
+		if ka[i] != kb[i] || len(a[i].Flows) != len(b[i].Flows) {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMixPresetShapes(t *testing.T) {
+	g := tree()
+	// Single-preset mixtures expose the per-class fan-out bounds.
+	for _, tc := range []struct {
+		preset   workload.Preset
+		min, max int
+	}{
+		{workload.PresetWebSearch, 88, 150},
+		{workload.PresetCosmos, 30, 70},
+	} {
+		tasks, kinds := workload.GenerateMix(g, workload.MixSpec{
+			Tasks: 15, Seed: 3,
+			Weights: map[workload.Preset]float64{tc.preset: 1},
+		})
+		for i, task := range tasks {
+			if kinds[i] != tc.preset {
+				t.Fatalf("%v: kind = %v", tc.preset, kinds[i])
+			}
+			n := len(task.Flows)
+			if n < tc.min || n > tc.max+1 {
+				t.Fatalf("%v: task %d has %d flows, want [%d, %d]",
+					tc.preset, i, n, tc.min, tc.max)
+			}
+		}
+	}
+}
+
+func TestGenerateMixMapReduceHeavyTail(t *testing.T) {
+	g := tree()
+	tasks, _ := workload.GenerateMix(g, workload.MixSpec{
+		Tasks: 60, Seed: 5,
+		Weights: map[workload.Preset]float64{workload.PresetMapReduce: 1},
+	})
+	minN, maxN := 1<<30, 0
+	for _, task := range tasks {
+		n := len(task.Flows)
+		minN = min(minN, n)
+		maxN = max(maxN, n)
+	}
+	if maxN < 3*minN {
+		t.Fatalf("fan-out spread too narrow for a heavy tail: [%d, %d]", minN, maxN)
+	}
+	if maxN > 2001 {
+		t.Fatalf("cap exceeded: %d", maxN)
+	}
+}
+
+func TestGenerateMixScaleFlows(t *testing.T) {
+	g := tree()
+	tasks, _ := workload.GenerateMix(g, workload.MixSpec{
+		Tasks: 10, Seed: 9, ScaleFlows: 0.1,
+		Weights: map[workload.Preset]float64{workload.PresetWebSearch: 1},
+	})
+	for _, task := range tasks {
+		if n := len(task.Flows); n < 8 || n > 16 {
+			t.Fatalf("scaled websearch fan-out = %d, want ~8-15", n)
+		}
+	}
+}
+
+func TestGenerateMixWeights(t *testing.T) {
+	g := tree()
+	_, kinds := workload.GenerateMix(g, workload.MixSpec{
+		Tasks: 200, Seed: 11, ScaleFlows: 0.05,
+		Weights: map[workload.Preset]float64{
+			workload.PresetWebSearch: 9,
+			workload.PresetCosmos:    1,
+		},
+	})
+	counts := map[workload.Preset]int{}
+	for _, k := range kinds {
+		counts[k]++
+	}
+	if counts[workload.PresetMapReduce] != 0 {
+		t.Fatal("zero-weight preset drawn")
+	}
+	if counts[workload.PresetWebSearch] < 5*counts[workload.PresetCosmos] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestGenerateMixPanics(t *testing.T) {
+	g := tree()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-sum weights")
+		}
+	}()
+	workload.GenerateMix(g, workload.MixSpec{
+		Tasks:   1,
+		Weights: map[workload.Preset]float64{workload.PresetCosmos: 0},
+	})
+}

@@ -1,0 +1,259 @@
+// Package workload generates the synthetic traffic of §V-A: tasks arrive
+// by a Poisson process, every task carries a number of flows that all
+// arrive with it, task deadlines are exponentially distributed, flow sizes
+// are normally distributed (truncated), and flow endpoints are picked
+// uniformly at random among distinct hosts.
+//
+// All generation is driven by a caller-provided seed and is fully
+// deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// Spec describes one generated workload. Zero fields fall back to the
+// §V-A defaults (see Default).
+type Spec struct {
+	// Tasks is the number of tasks to generate.
+	Tasks int
+	// MeanFlowsPerTask μ: each task has max(1, round(N(μ, μ/4))) flows
+	// when FixedFlowsPerTask is false, else exactly μ flows.
+	MeanFlowsPerTask  int
+	FixedFlowsPerTask bool
+	// ArrivalRate λ is the Poisson task arrival rate in tasks/second.
+	ArrivalRate float64
+	// MeanDeadline is the mean of the exponential deadline distribution.
+	MeanDeadline simtime.Time
+	// MinDeadline floors generated deadlines (0 keeps the 1µs floor).
+	MinDeadline simtime.Time
+	// MeanFlowSize is the mean flow size in bytes. The shape is set by
+	// SizeDist (default: truncated normal with sigma = mean/4, §V-A);
+	// sizes are clamped to at least MinFlowSize.
+	MeanFlowSize int64
+	// MinFlowSize clamps flow sizes (default 1 KB).
+	MinFlowSize int64
+	// SizeDist selects the flow-size distribution (default DistNormal,
+	// the paper's choice; DistUniform and DistPareto exist for
+	// sensitivity analysis — measured DC traffic is heavy-tailed).
+	SizeDist Dist
+	// DeadlineDist selects the deadline distribution (default
+	// DistExponential, the paper's choice).
+	DeadlineDist Dist
+	// BackgroundTasks adds that many single-flow background transfers
+	// (§III-B's "dynamic" cross traffic): they share the deadline-task
+	// arrival horizon, carry BackgroundSizeFactor x MeanFlowSize bytes,
+	// and get deliberately slack deadlines (BackgroundSlackFactor x
+	// MeanDeadline) so deadline-aware schedulers can yield to urgent
+	// traffic while deadline-agnostic ones let them interfere.
+	BackgroundTasks int
+	// BackgroundSizeFactor scales background flow sizes (default 4).
+	BackgroundSizeFactor float64
+	// BackgroundSlackFactor scales background deadlines (default 10).
+	BackgroundSlackFactor float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Dist selects a probability distribution shape for generated quantities.
+type Dist uint8
+
+// Distribution shapes. The zero value picks each field's paper default.
+const (
+	// DistDefault uses the §V-A choice for the field (normal sizes,
+	// exponential deadlines).
+	DistDefault Dist = iota
+	// DistNormal draws N(mean, mean/4), truncated at the field floor.
+	DistNormal
+	// DistExponential draws Exp(mean).
+	DistExponential
+	// DistUniform draws U(mean/2, 3*mean/2).
+	DistUniform
+	// DistPareto draws a Pareto with alpha=1.5 scaled so the mean
+	// matches (heavy tail: many mice, a few elephants).
+	DistPareto
+)
+
+func (d Dist) String() string {
+	switch d {
+	case DistDefault:
+		return "default"
+	case DistNormal:
+		return "normal"
+	case DistExponential:
+		return "exponential"
+	case DistUniform:
+		return "uniform"
+	case DistPareto:
+		return "pareto"
+	}
+	return fmt.Sprintf("dist(%d)", uint8(d))
+}
+
+// draw samples a positive value with the given mean under the shape,
+// defaulting to def when d is DistDefault.
+func draw(rng *rand.Rand, d, def Dist, mean float64) float64 {
+	if d == DistDefault {
+		d = def
+	}
+	switch d {
+	case DistExponential:
+		return rng.ExpFloat64() * mean
+	case DistUniform:
+		return mean/2 + rng.Float64()*mean
+	case DistPareto:
+		// Pareto(alpha=1.5): mean = xm * alpha/(alpha-1) = 3*xm.
+		const alpha = 1.5
+		xm := mean * (alpha - 1) / alpha
+		return xm / math.Pow(1-rng.Float64(), 1/alpha)
+	default: // DistNormal
+		return rng.NormFloat64()*mean/4 + mean
+	}
+}
+
+// Default returns the §V-A single-rooted defaults: 30 tasks, 1200 flows per
+// task on average, λ=100 tasks/s, 40 ms mean deadline, 200 KB mean size.
+func Default() Spec {
+	return Spec{
+		Tasks:            30,
+		MeanFlowsPerTask: 1200,
+		ArrivalRate:      100,
+		MeanDeadline:     40 * simtime.Millisecond,
+		MeanFlowSize:     200 * 1024,
+		MinFlowSize:      1024,
+		Seed:             1,
+	}
+}
+
+// normalized fills in defaults for zero fields.
+func (s Spec) normalized() Spec {
+	d := Default()
+	if s.Tasks == 0 {
+		s.Tasks = d.Tasks
+	}
+	if s.MeanFlowsPerTask == 0 {
+		s.MeanFlowsPerTask = d.MeanFlowsPerTask
+	}
+	if s.ArrivalRate == 0 {
+		s.ArrivalRate = d.ArrivalRate
+	}
+	if s.MeanDeadline == 0 {
+		s.MeanDeadline = d.MeanDeadline
+	}
+	if s.MeanFlowSize == 0 {
+		s.MeanFlowSize = d.MeanFlowSize
+	}
+	if s.MinFlowSize == 0 {
+		s.MinFlowSize = d.MinFlowSize
+	}
+	if s.BackgroundSizeFactor == 0 {
+		s.BackgroundSizeFactor = 4
+	}
+	if s.BackgroundSlackFactor == 0 {
+		s.BackgroundSlackFactor = 10
+	}
+	return s
+}
+
+// Generate builds the task specs for the given topology. It panics if the
+// graph has fewer than two hosts (no valid src/dst pairs exist).
+func Generate(g *topology.Graph, spec Spec) []sim.TaskSpec {
+	spec = spec.normalized()
+	hosts := g.Hosts()
+	if len(hosts) < 2 {
+		panic(fmt.Sprintf("workload: graph has %d hosts; need at least 2", len(hosts)))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	tasks := make([]sim.TaskSpec, 0, spec.Tasks)
+	var arrival simtime.Time
+	for i := 0; i < spec.Tasks; i++ {
+		if i > 0 {
+			arrival += expDuration(rng, 1/spec.ArrivalRate)
+		}
+		nFlows := spec.MeanFlowsPerTask
+		if !spec.FixedFlowsPerTask {
+			nFlows = int(math.Round(rng.NormFloat64()*float64(spec.MeanFlowsPerTask)/4)) + spec.MeanFlowsPerTask
+			if nFlows < 1 {
+				nFlows = 1
+			}
+		}
+		deadline := simtime.Time(math.Round(draw(rng, spec.DeadlineDist, DistExponential, float64(spec.MeanDeadline))))
+		if deadline < spec.MinDeadline {
+			deadline = spec.MinDeadline
+		}
+		if deadline < 1 {
+			deadline = 1
+		}
+		t := sim.TaskSpec{Arrival: arrival, Deadline: deadline}
+		for j := 0; j < nFlows; j++ {
+			size := int64(math.Round(draw(rng, spec.SizeDist, DistNormal, float64(spec.MeanFlowSize))))
+			if size < spec.MinFlowSize {
+				size = spec.MinFlowSize
+			}
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			t.Flows = append(t.Flows, sim.FlowSpec{Src: src, Dst: dst, Size: size})
+		}
+		tasks = append(tasks, t)
+	}
+	// Background cross traffic: single slack flows spread over the same
+	// horizon as the deadline tasks.
+	horizon := arrival
+	if horizon < 1 {
+		horizon = 1
+	}
+	for i := 0; i < spec.BackgroundTasks; i++ {
+		size := int64(float64(spec.MeanFlowSize) * spec.BackgroundSizeFactor)
+		deadline := simtime.Time(float64(spec.MeanDeadline) * spec.BackgroundSlackFactor)
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		tasks = append(tasks, sim.TaskSpec{
+			Arrival:  simtime.Time(rng.Int63n(horizon)),
+			Deadline: deadline,
+			Flows:    []sim.FlowSpec{{Src: src, Dst: dst, Size: size}},
+		})
+	}
+	return tasks
+}
+
+// expDuration draws an exponential duration with the given mean (seconds)
+// and converts it to integer microseconds (at least 1).
+func expDuration(rng *rand.Rand, meanSeconds float64) simtime.Time {
+	d := simtime.Time(math.Round(rng.ExpFloat64() * meanSeconds * 1e6))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// TotalFlows returns the number of flows across all task specs.
+func TotalFlows(tasks []sim.TaskSpec) int {
+	n := 0
+	for _, t := range tasks {
+		n += len(t.Flows)
+	}
+	return n
+}
+
+// TotalBytes returns the number of bytes across all task specs.
+func TotalBytes(tasks []sim.TaskSpec) int64 {
+	var n int64
+	for _, t := range tasks {
+		for _, f := range t.Flows {
+			n += f.Size
+		}
+	}
+	return n
+}

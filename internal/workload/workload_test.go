@@ -1,0 +1,338 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+func tree() *topology.Graph {
+	g, _ := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 5, LinkCapacity: topology.Gbps(1),
+	})
+	return g
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	g := tree()
+	spec := workload.Spec{Tasks: 10, MeanFlowsPerTask: 8, Seed: 42}
+	a := workload.Generate(g, spec)
+	b := workload.Generate(g, spec)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline ||
+			len(a[i].Flows) != len(b[i].Flows) {
+			t.Fatalf("task %d differs", i)
+		}
+		for j := range a[i].Flows {
+			if a[i].Flows[j] != b[i].Flows[j] {
+				t.Fatalf("flow %d.%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	g := tree()
+	a := workload.Generate(g, workload.Spec{Tasks: 5, MeanFlowsPerTask: 8, Seed: 1})
+	b := workload.Generate(g, workload.Spec{Tasks: 5, MeanFlowsPerTask: 8, Seed: 2})
+	same := true
+	for i := range a {
+		if a[i].Deadline != b[i].Deadline || len(a[i].Flows) != len(b[i].Flows) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestTaskCount(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{Tasks: 17, MeanFlowsPerTask: 3, Seed: 7})
+	if len(tasks) != 17 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+}
+
+func TestFixedFlowsPerTask(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 10, MeanFlowsPerTask: 4, FixedFlowsPerTask: true, Seed: 3,
+	})
+	for i, task := range tasks {
+		if len(task.Flows) != 4 {
+			t.Fatalf("task %d has %d flows, want exactly 4", i, len(task.Flows))
+		}
+	}
+}
+
+func TestArrivalsNonDecreasingAndFirstAtZero(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{Tasks: 20, MeanFlowsPerTask: 2, Seed: 9})
+	if tasks[0].Arrival != 0 {
+		t.Fatalf("first arrival = %d", tasks[0].Arrival)
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrival < tasks[i-1].Arrival {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+	}
+}
+
+func TestNoSelfFlowsAndEndpointsAreHosts(t *testing.T) {
+	g := tree()
+	hostSet := map[topology.NodeID]bool{}
+	for _, h := range g.Hosts() {
+		hostSet[h] = true
+	}
+	tasks := workload.Generate(g, workload.Spec{Tasks: 20, MeanFlowsPerTask: 10, Seed: 5})
+	for _, task := range tasks {
+		for _, f := range task.Flows {
+			if f.Src == f.Dst {
+				t.Fatal("self flow generated")
+			}
+			if !hostSet[f.Src] || !hostSet[f.Dst] {
+				t.Fatal("endpoint is not a host")
+			}
+		}
+	}
+}
+
+func TestSizesRespectFloor(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 30, MeanFlowsPerTask: 20, MeanFlowSize: 2048, MinFlowSize: 1024, Seed: 11,
+	})
+	for _, task := range tasks {
+		for _, f := range task.Flows {
+			if f.Size < 1024 {
+				t.Fatalf("size %d below floor", f.Size)
+			}
+		}
+	}
+}
+
+func TestDeadlineFloor(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 50, MeanFlowsPerTask: 1, MeanDeadline: 100, MinDeadline: 90, Seed: 13,
+	})
+	for _, task := range tasks {
+		if task.Deadline < 90 {
+			t.Fatalf("deadline %d below floor", task.Deadline)
+		}
+	}
+}
+
+func TestMeanDeadlineApproximatelyRight(t *testing.T) {
+	g := tree()
+	mean := 40 * simtime.Millisecond
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 3000, MeanFlowsPerTask: 1, MeanDeadline: mean, Seed: 17,
+	})
+	var sum float64
+	for _, task := range tasks {
+		sum += float64(task.Deadline)
+	}
+	got := sum / float64(len(tasks))
+	if math.Abs(got-float64(mean)) > 0.1*float64(mean) {
+		t.Fatalf("mean deadline = %g, want ~%d", got, mean)
+	}
+}
+
+func TestMeanSizeApproximatelyRight(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 50, MeanFlowsPerTask: 100, MeanFlowSize: 200 * 1024, Seed: 19,
+	})
+	var sum float64
+	n := 0
+	for _, task := range tasks {
+		for _, f := range task.Flows {
+			sum += float64(f.Size)
+			n++
+		}
+	}
+	got := sum / float64(n)
+	if math.Abs(got-200*1024) > 0.05*200*1024 {
+		t.Fatalf("mean size = %g, want ~%d", got, 200*1024)
+	}
+}
+
+func TestBackgroundTraffic(t *testing.T) {
+	g := tree()
+	spec := workload.Spec{
+		Tasks: 10, MeanFlowsPerTask: 4, Seed: 23,
+		BackgroundTasks: 6,
+	}
+	tasks := workload.Generate(g, spec)
+	if len(tasks) != 16 {
+		t.Fatalf("tasks = %d, want 10 + 6 background", len(tasks))
+	}
+	deadlineHorizon := tasks[9].Arrival
+	bg := tasks[10:]
+	meanDeadline := workload.Default().MeanDeadline
+	for i, task := range bg {
+		if len(task.Flows) != 1 {
+			t.Fatalf("background %d has %d flows", i, len(task.Flows))
+		}
+		// Slack deadlines: 10x the mean by default.
+		if task.Deadline != 10*meanDeadline {
+			t.Fatalf("background deadline = %d", task.Deadline)
+		}
+		// Big flows: 4x the mean size by default.
+		if task.Flows[0].Size != 4*workload.Default().MeanFlowSize {
+			t.Fatalf("background size = %d", task.Flows[0].Size)
+		}
+		if task.Arrival > deadlineHorizon {
+			t.Fatalf("background arrival %d beyond horizon %d", task.Arrival, deadlineHorizon)
+		}
+	}
+}
+
+func TestBackgroundTrafficRunsUnderAllSchedulers(t *testing.T) {
+	// Background flows must not wedge any policy (e.g. near-zero Varys
+	// reservations still terminate because slack deadlines are finite).
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 4, MeanFlowsPerTask: 3, Seed: 2, BackgroundTasks: 3,
+	})
+	// Local import cycle avoidance: exercise via the sim engine with a
+	// trivial scheduler is not enough to catch policy wedges, so this
+	// only asserts the generator invariants hold; the cross-scheduler
+	// run lives in the facade test (TestFacadeBackgroundTraffic).
+	if workload.TotalFlows(tasks) < 7 {
+		t.Fatalf("flows = %d", workload.TotalFlows(tasks))
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tasks := []sim.TaskSpec{
+		{Flows: []sim.FlowSpec{{Size: 10}, {Size: 20}}},
+		{Flows: []sim.FlowSpec{{Size: 5}}},
+	}
+	if workload.TotalFlows(tasks) != 3 {
+		t.Fatal("TotalFlows")
+	}
+	if workload.TotalBytes(tasks) != 35 {
+		t.Fatal("TotalBytes")
+	}
+}
+
+func TestPanicsOnTooFewHosts(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddNode(topology.Host, "only", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	workload.Generate(g, workload.Spec{Tasks: 1})
+}
+
+func TestPropGeneratedWorkloadsAlwaysWellFormed(t *testing.T) {
+	g := tree()
+	f := func(seed int64, tasks, flows uint8) bool {
+		spec := workload.Spec{
+			Tasks:            1 + int(tasks)%20,
+			MeanFlowsPerTask: 1 + int(flows)%30,
+			Seed:             seed,
+		}
+		ts := workload.Generate(g, spec)
+		if len(ts) != spec.Tasks {
+			return false
+		}
+		for _, task := range ts {
+			if task.Deadline < 1 || len(task.Flows) < 1 {
+				return false
+			}
+			for _, fl := range task.Flows {
+				if fl.Size < 1 || fl.Src == fl.Dst {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	for d, want := range map[workload.Dist]string{
+		workload.DistDefault: "default", workload.DistNormal: "normal",
+		workload.DistExponential: "exponential", workload.DistUniform: "uniform",
+		workload.DistPareto: "pareto",
+	} {
+		if d.String() != want {
+			t.Errorf("%v", d)
+		}
+	}
+}
+
+func TestUniformSizesBounded(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 20, MeanFlowsPerTask: 10, MeanFlowSize: 100_000,
+		SizeDist: workload.DistUniform, Seed: 41,
+	})
+	for _, task := range tasks {
+		for _, f := range task.Flows {
+			if f.Size < 50_000 || f.Size > 150_000 {
+				t.Fatalf("uniform size %d outside [mean/2, 3mean/2]", f.Size)
+			}
+		}
+	}
+}
+
+func TestParetoSizesHeavyTailed(t *testing.T) {
+	g := tree()
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 40, MeanFlowsPerTask: 40, MeanFlowSize: 100_000,
+		SizeDist: workload.DistPareto, Seed: 43,
+	})
+	var sum float64
+	var maxSize, n int64
+	for _, task := range tasks {
+		for _, f := range task.Flows {
+			sum += float64(f.Size)
+			n++
+			if f.Size > maxSize {
+				maxSize = f.Size
+			}
+		}
+	}
+	mean := sum / float64(n)
+	// Pareto mean should land in the right ballpark (wide tolerance:
+	// alpha=1.5 means slow convergence).
+	if mean < 50_000 || mean > 300_000 {
+		t.Fatalf("pareto mean = %g", mean)
+	}
+	// Heavy tail: the max should dwarf the mean.
+	if float64(maxSize) < 4*mean {
+		t.Fatalf("max %d vs mean %g: no heavy tail", maxSize, mean)
+	}
+}
+
+func TestUniformDeadlinesBounded(t *testing.T) {
+	g := tree()
+	mean := 40 * simtime.Millisecond
+	tasks := workload.Generate(g, workload.Spec{
+		Tasks: 30, MeanFlowsPerTask: 1, MeanDeadline: mean,
+		DeadlineDist: workload.DistUniform, Seed: 47,
+	})
+	for _, task := range tasks {
+		if task.Deadline < mean/2 || task.Deadline > 3*mean/2 {
+			t.Fatalf("uniform deadline %d out of bounds", task.Deadline)
+		}
+	}
+}
