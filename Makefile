@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the full CI gate: formatting, vet, build, tests with the race
+# detector. CI (.github/workflows/ci.yml) runs exactly this target.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -16,8 +16,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 
 	"taps/internal/netctl"
+	"taps/internal/obs"
 	"taps/internal/topology"
 )
 
@@ -32,7 +34,8 @@ func main() {
 		n       = flag.Int("n", 4, "bcube: n")
 		speedup = flag.Float64("speedup", 1, "virtual µs per real µs")
 		paths   = flag.Int("paths", 16, "candidate path cap")
-		httpAt  = flag.String("http", "", "serve GET /status and /healthz on this address (empty: off)")
+		httpAt  = flag.String("http", "", "serve GET /status, /metrics, /events and /healthz on this address (empty: off)")
+		eventsF = flag.String("events", "", "stream decision events as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -46,6 +49,24 @@ func main() {
 		MaxPaths: *paths,
 		Logf:     log.Printf,
 	})
+	if *eventsF != "" {
+		f, err := os.Create(*eventsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapsctl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ctl.Recorder().AddSink(obs.JSONLSink(f))
+	}
+	// On interrupt, print the decision/latency digest before exiting.
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		fmt.Fprint(os.Stderr, ctl.Recorder().SummaryText(nil))
+		ctl.Close()
+		os.Exit(0)
+	}()
 	if *httpAt != "" {
 		go func() {
 			log.Printf("tapsctl: monitoring on http://%s/status", *httpAt)

@@ -22,6 +22,7 @@ import (
 	"taps/internal/analysis"
 	"taps/internal/experiments"
 	"taps/internal/metrics"
+	"taps/internal/obs"
 	"taps/internal/sim"
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -37,6 +38,9 @@ func main() {
 		seedsFlag = flag.Int("seeds", 0, "average every sweep point over this many consecutive seeds")
 		outFlag   = flag.String("o", "", "write output to this file instead of stdout")
 		formatF   = flag.String("format", "table", "sweep output format: table, csv, json, chart")
+		obsFlag   = flag.Bool("obs", false, "record controller decisions and runtime metrics; print a summary at exit")
+		eventsF   = flag.String("events", "", "stream decision events as JSONL to this file (implies -obs)")
+		verboseF  = flag.Bool("v", false, "stream decision events to stderr as they happen (implies -obs)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,23 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	var rec *obs.Recorder
+	if *obsFlag || *eventsF != "" || *verboseF {
+		rec = obs.NewRecorder(obs.Options{})
+		if *eventsF != "" {
+			f, err := os.Create(*eventsF)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			rec.AddSink(obs.JSONLSink(f))
+		}
+		if *verboseF {
+			rec.AddSink(func(ev obs.Event) { fmt.Fprintln(os.Stderr, obs.FormatEvent(ev)) })
+		}
+		experiments.Observe(rec)
 	}
 
 	scale, err := experiments.ScaleByName(*scaleFlag)
@@ -74,11 +95,14 @@ func main() {
 	}
 	for _, fig := range figs {
 		start := time.Now()
-		if err := runFigure(out, fig, scale, schedulers, *formatF); err != nil {
+		if err := runFigure(out, fig, scale, schedulers, *formatF, rec); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(out, "# fig %s done in %v (scale=%s, seed=%d)\n\n",
 			fig, time.Since(start).Round(time.Millisecond), scale.Name, scale.Seed)
+	}
+	if rec != nil {
+		fmt.Fprint(out, rec.SummaryText(nil))
 	}
 }
 
@@ -87,7 +111,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runFigure(out io.Writer, fig string, scale experiments.Scale, schedulers []string, format string) error {
+func runFigure(out io.Writer, fig string, scale experiments.Scale, schedulers []string, format string, rec *obs.Recorder) error {
 	switch fig {
 	case "1", "2":
 		var rs []experiments.MotivationResult
@@ -123,7 +147,7 @@ func runFigure(out io.Writer, fig string, scale experiments.Scale, schedulers []
 			return err
 		}
 	case "report":
-		return writeReports(out, scale, schedulers)
+		return writeReports(out, scale, schedulers, rec)
 	case "mix":
 		res, err := experiments.ExtMix(scale, schedulers)
 		if err != nil {
@@ -154,7 +178,7 @@ func runFigure(out io.Writer, fig string, scale experiments.Scale, schedulers []
 // writeReports runs the default §V-A point for every scheduler with
 // segment recording on and prints link-utilization / completion-time
 // analytics (internal/analysis).
-func writeReports(out io.Writer, scale experiments.Scale, schedulers []string) error {
+func writeReports(out io.Writer, scale experiments.Scale, schedulers []string, rec *obs.Recorder) error {
 	g, r := topology.SingleRootedTree(scale.Tree)
 	cr := topology.NewCachedRouting(r)
 	specs := workload.Generate(g, workload.Spec{
@@ -165,7 +189,7 @@ func writeReports(out io.Writer, scale experiments.Scale, schedulers []string) e
 	})
 	for _, name := range schedulers {
 		eng := sim.New(g, cr, experiments.NewScheduler(name), specs, sim.Config{
-			RecordSegments: true, MaxTime: simtime.Time(4e12),
+			RecordSegments: true, MaxTime: simtime.Time(4e12), Obs: rec,
 		})
 		res, err := eng.Run()
 		if err != nil {

@@ -31,7 +31,15 @@ type Planner struct {
 	Graph    *topology.Graph
 	Routing  topology.Routing
 	MaxPaths int
+
+	// pathsTried counts candidate paths examined across all PlanAll
+	// calls; observability instrumentation reads deltas around a pass.
+	// Not synchronized: callers already serialize planner access.
+	pathsTried int64
 }
+
+// PathsTried returns the cumulative number of candidate paths examined.
+func (p *Planner) PathsTried() int64 { return p.pathsTried }
 
 // hostCapacity estimates the line rate available to a flow before a path
 // is chosen: the capacity of the source host's uplink.
@@ -90,6 +98,7 @@ func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, 
 		if len(path) == 0 {
 			continue
 		}
+		p.pathsTried++
 		e := durationFor(r.Bytes, p.Graph.MinCapacity(path))
 		// Alg. 3: Tocp = union of the links' occupied sets; idle =
 		// complement; take the first E units.

@@ -18,6 +18,9 @@
 package core
 
 import (
+	"time"
+
+	"taps/internal/obs"
 	"taps/internal/sched"
 	"taps/internal/sim"
 	"taps/internal/simtime"
@@ -103,6 +106,10 @@ type Scheduler struct {
 	// stats
 	replans    int
 	fastAdmits int
+
+	// obs, when non-nil, records decision events and planner latency.
+	// The nil default keeps the planning path free of timing calls.
+	obs *obs.Recorder
 }
 
 // New returns a TAPS scheduler with the given configuration.
@@ -124,6 +131,12 @@ func (s *Scheduler) Replans() int { return s.replans }
 // FastAdmits returns how many tasks the FastAdmission fast path accepted
 // without a global re-plan.
 func (s *Scheduler) FastAdmits() int { return s.fastAdmits }
+
+// SetRecorder attaches an observability recorder: every admit, reject,
+// preempt, re-plan and fast-admit decision is recorded, with wall-clock
+// planning latency. A nil recorder (the default) disables recording and
+// restores the uninstrumented hot path.
+func (s *Scheduler) SetRecorder(r *obs.Recorder) { s.obs = r }
 
 // Slices returns the planned transmission slices of a flow (for tests and
 // the SDN control plane, which ships them to senders).
@@ -165,8 +178,24 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
 			Deadline: f.Deadline,
 		}
 	}
+	var t0 time.Time
+	var p0 int64
+	if s.obs != nil {
+		t0 = time.Now()
+		p0 = s.planner.PathsTried()
+	}
 	occ := make(map[topology.LinkID]simtime.IntervalSet)
 	entries := s.planner.PlanAll(st.Now(), reqs, occ)
+	if s.obs != nil {
+		s.obs.Record(obs.Event{
+			Time:       st.Now(),
+			Kind:       obs.KindReplan,
+			Task:       obs.NoTask,
+			Flows:      int32(len(flows)),
+			PathsTried: s.planner.PathsTried() - p0,
+			Duration:   time.Since(t0),
+		})
+	}
 	a := &allocation{
 		slices: make(map[sim.FlowID]simtime.IntervalSet, len(flows)),
 		paths:  make(map[sim.FlowID]topology.Path, len(flows)),
@@ -223,6 +252,10 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 		return
 	}
 	if s.cfg.FastAdmission && s.admitIncrementally(st, task) {
+		if s.obs != nil {
+			s.obs.Record(obs.Event{Time: st.Now(), Kind: obs.KindTaskAdmitted,
+				Task: int64(task.ID), Reason: "fast-admission"})
+		}
 		return
 	}
 	flows := st.ActiveFlows() // includes the new task's flows
@@ -230,19 +263,25 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 	s.replans++
 	plan := s.planAll(st, flows)
 
+	accepted := true
 	if !s.cfg.DisableRejectRule {
 		victim, ok := s.applyRejectRule(st, task, plan)
 		if !ok {
 			// The new task is discarded; re-plan without it.
-			s.discardTask(st, task.ID)
+			accepted = false
+			s.discardTask(st, task.ID, false)
 			plan = s.replanActive(st)
 		} else if victim >= 0 {
 			// An existing task is preempted in favor of the newcomer.
-			s.discardTask(st, victim)
+			s.discardTask(st, victim, true)
 			plan = s.replanActive(st)
 		}
 	}
 	s.commit(st, plan)
+	if accepted && s.obs != nil {
+		s.obs.Record(obs.Event{Time: st.Now(), Kind: obs.KindTaskAdmitted,
+			Task: int64(task.ID)})
+	}
 }
 
 // admitIncrementally tries the FastAdmission append-only path: plan just
@@ -272,6 +311,12 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 	for l, set := range s.occ {
 		occ[l] = set.Clone()
 	}
+	var t0 time.Time
+	var p0 int64
+	if s.obs != nil {
+		t0 = time.Now()
+		p0 = s.planner.PathsTried()
+	}
 	entries := s.planner.PlanAll(st.Now(), reqs, occ)
 	for i, e := range entries {
 		if e.Path == nil || e.Finish > reqs[i].Deadline {
@@ -279,6 +324,16 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 		}
 	}
 	s.fastAdmits++
+	if s.obs != nil {
+		s.obs.Record(obs.Event{
+			Time:       st.Now(),
+			Kind:       obs.KindFastAdmit,
+			Task:       int64(task.ID),
+			Flows:      int32(len(flows)),
+			PathsTried: s.planner.PathsTried() - p0,
+			Duration:   time.Since(t0),
+		})
+	}
 	for i, f := range flows {
 		f.Path = entries[i].Path
 		s.slices[f.ID] = entries[i].Slices
@@ -306,10 +361,16 @@ func (s *Scheduler) applyRejectRule(st *sim.State, task *sim.Task, plan *allocat
 	return -1, true
 }
 
-// discardTask kills a task's flows and remembers the decision.
-func (s *Scheduler) discardTask(st *sim.State, id sim.TaskID) {
+// discardTask kills a task's flows and remembers the decision. preempted
+// distinguishes an admitted victim sacrificed for a newcomer from a
+// rejected newcomer — the engine dispatches the matching hook and event.
+func (s *Scheduler) discardTask(st *sim.State, id sim.TaskID, preempted bool) {
 	s.discarded[id] = true
-	st.KillTask(id, "taps: task discarded by reject rule")
+	if preempted {
+		st.PreemptTask(id, "taps: task preempted by reject rule")
+	} else {
+		st.KillTask(id, "taps: task discarded by reject rule")
+	}
 }
 
 // replanActive re-runs PathCalculation over the surviving active flows.
@@ -332,6 +393,13 @@ func (s *Scheduler) commit(st *sim.State, plan *allocation) {
 
 // OnFlowFinished implements sim.Scheduler (plan already accounts for it).
 func (s *Scheduler) OnFlowFinished(st *sim.State, f *sim.Flow) {}
+
+// OnTaskRejected implements sim.Scheduler. The decision originates here
+// (discardTask), so there is nothing left to react to.
+func (s *Scheduler) OnTaskRejected(st *sim.State, task *sim.Task) {}
+
+// OnTaskPreempted implements sim.Scheduler; see OnTaskRejected.
+func (s *Scheduler) OnTaskPreempted(st *sim.State, task *sim.Task) {}
 
 // OnDeadlineMissed kills a flow the plan failed to protect. With the
 // reject rule enabled this only happens for flows of tasks the rule chose

@@ -31,7 +31,7 @@ func ablationWorkload(scale Scale, g *topology.Graph) []sim.TaskSpec {
 }
 
 func runVariant(g *topology.Graph, r topology.Routing, variant string, cfg core.Config, specs []sim.TaskSpec) (AblationResult, error) {
-	eng := sim.New(g, r, core.New(cfg), specs, sim.Config{MaxTime: simtime.Time(4e12)})
+	eng := sim.New(g, r, instrument(core.New(cfg)), specs, simConfig(sim.Config{MaxTime: simtime.Time(4e12)}))
 	res, err := eng.Run()
 	if err != nil {
 		return AblationResult{}, fmt.Errorf("%s: %w", variant, err)
@@ -182,7 +182,7 @@ func AblationVsOptimal(trials int, seed int64) (OptimalComparison, error) {
 		best, _ := opt.MaxTasks(tasks)
 		cmp.OptTotal += best
 
-		eng := sim.New(g, r, core.New(core.DefaultConfig()), specs, sim.Config{MaxTime: simtime.Time(1e12)})
+		eng := sim.New(g, r, instrument(core.New(core.DefaultConfig())), specs, simConfig(sim.Config{MaxTime: simtime.Time(1e12)}))
 		res, err := eng.Run()
 		if err != nil {
 			return cmp, fmt.Errorf("trial %d: %w", trial, err)

@@ -44,7 +44,7 @@ func ExtMix(scale Scale, schedulers []string) (*MixResult, error) {
 		Order:    []workload.Preset{workload.PresetWebSearch, workload.PresetMapReduce, workload.PresetCosmos},
 	}
 	for _, name := range schedulers {
-		eng := sim.New(g, cr, NewScheduler(name), tasks, sim.Config{MaxTime: simtime.Time(4e12)})
+		eng := sim.New(g, cr, NewScheduler(name), tasks, simConfig(sim.Config{MaxTime: simtime.Time(4e12)}))
 		res, err := eng.Run()
 		if err != nil {
 			return nil, fmt.Errorf("mix %s: %w", name, err)

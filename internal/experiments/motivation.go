@@ -39,6 +39,10 @@ type MotivationResult struct {
 // NewScheduler builds a fresh scheduler instance by name. Names:
 // FairSharing, D3, PDQ, Baraat, Varys, TAPS.
 func NewScheduler(name string) sim.Scheduler {
+	return instrument(newScheduler(name))
+}
+
+func newScheduler(name string) sim.Scheduler {
 	switch name {
 	case "FairSharing":
 		return fairshare.New()
@@ -114,7 +118,7 @@ func fig2Tasks(a, b topology.NodeID) []sim.TaskSpec {
 
 // runMotivation executes one scheduler on one instance.
 func runMotivation(g *topology.Graph, r topology.Routing, name string, specs []sim.TaskSpec) (MotivationResult, error) {
-	eng := sim.New(g, r, NewScheduler(name), specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	eng := sim.New(g, r, NewScheduler(name), specs, simConfig(sim.Config{Validate: true, MaxTime: simtime.Time(1e10)}))
 	res, err := eng.Run()
 	if err != nil {
 		return MotivationResult{}, fmt.Errorf("%s: %w", name, err)
@@ -204,7 +208,7 @@ func Fig3() (map[string]MotivationResult, error) {
 	// in S3 is full" assumption).
 	p := pdq.New()
 	p.MaxList = 1
-	eng := sim.New(g, r, p, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	eng := sim.New(g, r, instrument(p), specs, simConfig(sim.Config{Validate: true, MaxTime: simtime.Time(1e10)}))
 	res, err := eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("pdq: %w", err)
@@ -213,7 +217,7 @@ func Fig3() (map[string]MotivationResult, error) {
 	out["PDQ"] = MotivationResult{Scheduler: "PDQ", FlowsOnTime: sum.FlowsOnTime, TasksCompleted: sum.TasksCompleted, Summary: sum}
 
 	taps := core.New(core.DefaultConfig())
-	eng = sim.New(g, r, taps, specs, sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+	eng = sim.New(g, r, instrument(taps), specs, simConfig(sim.Config{Validate: true, MaxTime: simtime.Time(1e10)}))
 	res, err = eng.Run()
 	if err != nil {
 		return nil, fmt.Errorf("taps: %w", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"taps/internal/core"
+	"taps/internal/obs"
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -73,6 +74,7 @@ type Controller struct {
 	routing topology.Routing
 	planner *core.Planner
 	epoch   time.Time
+	obs     *obs.Recorder
 
 	mu        sync.Mutex
 	agents    map[*codec]HelloMsg
@@ -95,6 +97,7 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 		routing:   r,
 		planner:   &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths},
 		epoch:     time.Now(),
+		obs:       obs.NewRecorder(obs.Options{}),
 		agents:    make(map[*codec]HelloMsg),
 		flows:     make(map[uint64]*ctlFlow),
 		taskFlows: make(map[int64][]uint64),
@@ -103,6 +106,11 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 		closed:    make(chan struct{}),
 	}
 }
+
+// Recorder returns the controller's always-on observability recorder:
+// decision events, planner latency, and the data behind /metrics and
+// /events. Attach sinks (obs.JSONLSink) before Serve.
+func (c *Controller) Recorder() *obs.Recorder { return c.obs }
 
 // now is the current virtual time.
 func (c *Controller) now() simtime.Time {
@@ -245,18 +253,27 @@ func (c *Controller) onProbe(p ProbeMsg) {
 	case core.RejectNew:
 		c.dropTaskLocked(p.Task)
 		c.replanLocked()
+		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskRejected,
+			Task: p.Task, Reason: "reject rule"})
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d rejected", p.Task)
 	case core.Preempt:
+		// The victim's completion fraction must be read before its flows
+		// are dropped (dropTaskLocked deletes them, which reads as 100%).
+		frac := c.fractionLocked(now)(victim)
 		c.dropTaskLocked(victim)
 		c.accepted[p.Task] = true
 		c.replanLocked()
+		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskPreempted,
+			Task: victim, Fraction: frac, Reason: "preempted"})
+		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: victim, Reason: "preempted"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted, task %d preempted", p.Task, victim)
 	default:
 		c.accepted[p.Task] = true
+		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted", p.Task)
 	}
@@ -300,7 +317,17 @@ func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
 	for i, it := range items {
 		reqs[i] = it.req
 	}
+	t0 := time.Now()
+	p0 := c.planner.PathsTried()
 	entries := c.planner.PlanAll(now, reqs, nil)
+	c.obs.Record(obs.Event{
+		Time:       now,
+		Kind:       obs.KindReplan,
+		Task:       obs.NoTask,
+		Flows:      int32(len(reqs)),
+		PathsTried: c.planner.PathsTried() - p0,
+		Duration:   time.Since(t0),
+	})
 	missed := make(map[int64]bool)
 	for i, e := range entries {
 		f := items[i].f

@@ -2,10 +2,15 @@ package netctl
 
 import (
 	"encoding/json"
+	"expvar"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 
+	"taps/internal/obs"
 	"taps/internal/simtime"
+	"taps/internal/topology"
 )
 
 // StatusLink is one link's planned occupancy in the status document.
@@ -79,10 +84,23 @@ func (c *Controller) status() Status {
 	return st
 }
 
+// EventsPage is the response document of GET /events: one page of decision
+// events plus the cursor to request the next page (pass it back as ?since=).
+type EventsPage struct {
+	Events  []obs.Event `json:"events"`
+	LastSeq uint64      `json:"last_seq"`
+}
+
 // HTTPHandler returns a monitoring handler:
 //
-//	GET /status  -> Status JSON
-//	GET /healthz -> 200 "ok"
+//	GET /status          -> Status JSON
+//	GET /healthz         -> 200 "ok"
+//	GET /metrics         -> Prometheus text exposition (decision counters,
+//	                        replan-latency histogram, link gauges)
+//	GET /events?since=N  -> EventsPage JSON: events with Seq > N
+//	                        (&limit=M caps the page size, default 256)
+//	GET /debug/vars      -> expvar JSON
+//	GET /debug/pprof/    -> runtime profiles
 //
 // Mount it on any mux/server the operator runs alongside Serve:
 //
@@ -100,5 +118,50 @@ func (c *Controller) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok"))
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		linkName := func(l int32) string { return c.graph.Link(topology.LinkID(l)).Name }
+		if err := obs.WritePrometheus(w, c.obs, linkName); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		since, err := parseUintParam(q.Get("since"), 0)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit, err := parseUintParam(q.Get("limit"), 256)
+		if err != nil {
+			http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		page := EventsPage{Events: c.obs.Events(since, int(limit))}
+		if n := len(page.Events); n > 0 {
+			page.LastSeq = page.Events[n-1].Seq
+		} else {
+			page.LastSeq = since
+			page.Events = []obs.Event{} // "[]", not "null"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(page); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// parseUintParam parses an optional unsigned query parameter.
+func parseUintParam(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
 }

@@ -1,0 +1,201 @@
+package netctl_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"taps/internal/netctl"
+	"taps/internal/obs"
+	"taps/internal/simtime"
+)
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	ctl, addr, g := startController(t)
+	hosts := g.Hosts()
+	a := dial(t, addr, "a", hosts[0])
+	if err := a.SubmitTask(1, 500*simtime.Millisecond, []netctl.FlowInfo{
+		{ID: 10, Src: hosts[0], Dst: hosts[7], Size: 2_000_000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`taps_events_total{kind="task_admitted"} 1`,
+		`taps_events_total{kind="replan"} 1`,
+		"taps_replan_latency_seconds_count 1",
+		`taps_replan_latency_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	// Every sample line must parse as "name{labels} value" with a numeric
+	// value, and histogram buckets must be cumulative.
+	var lastCum uint64
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in %q", line)
+		}
+		if strings.HasPrefix(line, "taps_replan_latency_seconds_bucket") {
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < lastCum {
+				t.Fatalf("non-cumulative bucket at %q", line)
+			}
+			lastCum = n
+		}
+	}
+	a.WaitLocalFlows()
+}
+
+func TestHTTPEventsPagination(t *testing.T) {
+	ctl, addr, g := startController(t)
+	hosts := g.Hosts()
+	a := dial(t, addr, "a", hosts[0])
+	for i := 0; i < 3; i++ {
+		if err := a.SubmitTask(int64(i+1), 500*simtime.Millisecond, []netctl.FlowInfo{
+			{ID: uint64(10 + i), Src: hosts[0], Dst: hosts[5+i%3], Size: 100_000},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 probes → 3 replan + 3 admitted events, seq 1..6.
+	if got := ctl.Recorder().Seq(); got != 6 {
+		t.Fatalf("recorder seq = %d, want 6", got)
+	}
+
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	getPage := func(since uint64, limit int) netctl.EventsPage {
+		t.Helper()
+		url := srv.URL + "/events?since=" + strconv.FormatUint(since, 10) +
+			"&limit=" + strconv.Itoa(limit)
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("events = %d", resp.StatusCode)
+		}
+		var page netctl.EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	var all []obs.Event
+	since := uint64(0)
+	for pages := 0; pages < 10; pages++ {
+		page := getPage(since, 4)
+		if len(page.Events) == 0 {
+			break
+		}
+		all = append(all, page.Events...)
+		since = page.LastSeq
+	}
+	if len(all) != 6 {
+		t.Fatalf("paged through %d events, want 6", len(all))
+	}
+	for i, ev := range all {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	admitted := 0
+	for _, ev := range all {
+		if ev.Kind == obs.KindTaskAdmitted {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted events = %d, want 3", admitted)
+	}
+
+	// An exhausted cursor returns an empty page with the cursor unchanged.
+	empty := getPage(since, 4)
+	if len(empty.Events) != 0 || empty.LastSeq != since {
+		t.Fatalf("empty page = %+v", empty)
+	}
+
+	// Malformed cursors are a client error.
+	resp, err := srv.Client().Get(srv.URL + "/events?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad since = %d, want 400", resp.StatusCode)
+	}
+	a.WaitLocalFlows()
+}
+
+func TestHTTPDebugEndpoints(t *testing.T) {
+	ctl, _, _ := startController(t)
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPRejectionEventRecorded(t *testing.T) {
+	ctl, addr, g := startController(t)
+	hosts := g.Hosts()
+	a := dial(t, addr, "a", hosts[0])
+	_ = a.SubmitTask(9, 1*simtime.Millisecond, []netctl.FlowInfo{
+		{ID: 90, Src: hosts[0], Dst: hosts[7], Size: 500_000_000},
+	})
+	rec := ctl.Recorder()
+	if n := rec.Count(obs.KindTaskRejected); n != 1 {
+		t.Fatalf("rejected events = %d", n)
+	}
+	found := false
+	for _, ev := range rec.Events(0, 0) {
+		if ev.Kind == obs.KindTaskRejected && ev.Task == 9 && ev.Reason == "reject rule" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing rejection event for task 9")
+	}
+}

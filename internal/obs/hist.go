@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers every representable non-negative duration: bucket 0
+// holds exactly 0ns, bucket i (i >= 1) holds [2^(i-1), 2^i - 1] ns. The
+// boundaries are fixed powers of two (HDR-style log scale), so recording
+// needs no configuration, no floating point, and no allocation.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log-scale latency histogram. All methods are
+// safe for concurrent use and allocation-free; the zero value is ready to
+// use. Quantile estimates are exact to within one bucket (the reported
+// value is the bucket's upper bound, at most 2x the true value for
+// latencies >= 1ns).
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// histBucketOf returns the index of the single bucket containing d.
+// Negative durations (clock anomalies) are clamped into bucket 0.
+func histBucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// HistBucketUpper returns the inclusive upper bound of bucket i in
+// nanoseconds: 0 for bucket 0, 2^i - 1 otherwise.
+func HistBucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(int64(1)<<62 - 1 + int64(1)<<62) // MaxInt64
+	}
+	return time.Duration(int64(1)<<uint(i) - 1)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[histBucketOf(d)].Add(1)
+	h.count.Add(1)
+	if d < 0 {
+		d = 0
+	}
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded durations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all recorded durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest recorded duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the average recorded duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Buckets returns a snapshot of the per-bucket counts.
+func (h *Histogram) Buckets() [histBuckets]uint64 {
+	var out [histBuckets]uint64
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// durations: the upper bound of the bucket holding the rank-ceil(q*n)
+// smallest sample, clamped to the exact maximum so high quantiles never
+// exceed Max. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return min(HistBucketUpper(i), h.Max())
+		}
+	}
+	return h.Max()
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBucketProperty: every recorded duration lands in exactly one
+// bucket, and that bucket's bounds contain it.
+func TestHistBucketProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		var d time.Duration
+		switch trial % 4 {
+		case 0:
+			d = time.Duration(rng.Int63n(1000)) // sub-µs
+		case 1:
+			d = time.Duration(rng.Int63n(int64(time.Second)))
+		case 2:
+			d = time.Duration(rng.Int63()) // full range
+		default:
+			d = time.Duration(trial) // small exact values incl. 0
+		}
+		idx := histBucketOf(d)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("d=%d: bucket %d out of range", d, idx)
+		}
+		// Exactly one bucket contains d: [upper(i-1)+1, upper(i)].
+		upper := HistBucketUpper(idx)
+		var lower time.Duration
+		if idx > 0 {
+			lower = HistBucketUpper(idx-1) + 1
+		}
+		if d < lower || d > upper {
+			t.Fatalf("d=%d not in bucket %d bounds [%d, %d]", d, idx, lower, upper)
+		}
+		// No other bucket's range contains d.
+		for i := 0; i < histBuckets; i++ {
+			if i == idx {
+				continue
+			}
+			var lo time.Duration
+			if i > 0 {
+				lo = HistBucketUpper(i-1) + 1
+			}
+			if d >= lo && d <= HistBucketUpper(i) {
+				t.Fatalf("d=%d also in bucket %d", d, i)
+			}
+		}
+	}
+}
+
+// TestHistBucketCountsSum: the per-bucket counts sum to the total count.
+func TestHistBucketCountsSum(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+	}
+	var sum uint64
+	for _, c := range h.Buckets() {
+		sum += c
+	}
+	if sum != n || h.Count() != n {
+		t.Fatalf("bucket sum = %d, Count = %d, want %d", sum, h.Count(), n)
+	}
+}
+
+// TestHistQuantileWithinBucket: the quantile estimate is the upper bound
+// of the bucket holding the exact quantile, i.e. within one bucket width.
+func TestHistQuantileWithinBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h Histogram
+	var samples []time.Duration
+	for i := 0; i < 4000; i++ {
+		d := time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		rank := int(q*float64(len(samples))+0.9999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		est := h.Quantile(q)
+		idx := histBucketOf(exact)
+		upper := HistBucketUpper(idx)
+		var lower time.Duration
+		if idx > 0 {
+			lower = HistBucketUpper(idx-1) + 1
+		}
+		width := upper - lower
+		if est < exact || est-exact > width {
+			t.Fatalf("q=%g: estimate %d vs exact %d: off by more than bucket width %d",
+				q, est, exact, width)
+		}
+	}
+}
+
+func TestHistEmptyAndStats(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(4 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(-time.Second) // clock anomaly clamps to 0
+	if h.Max() != 4*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"taps/internal/obs"
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -25,11 +26,19 @@ type RateMap map[FlowID]float64
 // By the time it runs, the engine has already moved affected flows onto
 // surviving ECMP paths (or killed the disconnected ones) and the State's
 // Routing excludes the dead link.
+//
+// OnTaskRejected fires when a whole task is discarded before admission
+// (State.KillTask); OnTaskPreempted fires when an already-admitted task is
+// sacrificed for a newcomer (State.PreemptTask). Each fires at most once
+// per task, after its flows are killed — including when the kill was
+// initiated by the scheduler itself, so observers can hook either side.
 type Scheduler interface {
 	Name() string
 	OnTaskArrival(st *State, task *Task)
 	OnFlowFinished(st *State, f *Flow)
 	OnDeadlineMissed(st *State, f *Flow)
+	OnTaskRejected(st *State, task *Task)
+	OnTaskPreempted(st *State, task *Task)
 	OnLinkDown(st *State, link topology.LinkID)
 	Rates(st *State) (RateMap, simtime.Time)
 }
@@ -47,6 +56,12 @@ func (NopHooks) OnFlowFinished(*State, *Flow) {}
 // OnDeadlineMissed implements Scheduler.
 func (NopHooks) OnDeadlineMissed(*State, *Flow) {}
 
+// OnTaskRejected implements Scheduler.
+func (NopHooks) OnTaskRejected(*State, *Task) {}
+
+// OnTaskPreempted implements Scheduler.
+func (NopHooks) OnTaskPreempted(*State, *Task) {}
+
 // OnLinkDown implements Scheduler.
 func (NopHooks) OnLinkDown(*State, topology.LinkID) {}
 
@@ -59,6 +74,11 @@ type State struct {
 	tasks   []*Task
 	active  map[FlowID]*Flow
 	dead    map[topology.LinkID]bool
+
+	// onTaskEnd is the engine's kill notifier: it fires the scheduler's
+	// OnTaskRejected/OnTaskPreempted hooks and records obs events, at
+	// most once per task.
+	onTaskEnd func(t *Task, note string, preempted bool)
 }
 
 // IsLinkDead reports whether an injected failure has taken the link down.
@@ -139,12 +159,28 @@ func (st *State) KillFlow(f *Flow, note string) {
 }
 
 // KillTask kills every still-active flow of the task and marks the task
-// rejected: no further bytes will be spent on it.
+// rejected: no further bytes will be spent on it. The first kill of a
+// task fires the scheduler's OnTaskRejected hook.
 func (st *State) KillTask(id TaskID, note string) {
+	st.endTask(id, note, false)
+}
+
+// PreemptTask is KillTask for the preemption branch of a reject rule: an
+// already-admitted task sacrificed for a more promising newcomer. The
+// first kill of a task fires the scheduler's OnTaskPreempted hook.
+func (st *State) PreemptTask(id TaskID, note string) {
+	st.endTask(id, note, true)
+}
+
+func (st *State) endTask(id TaskID, note string, preempted bool) {
 	t := st.tasks[id]
+	first := !t.Rejected
 	t.Rejected = true
 	for _, fid := range t.Flows {
 		st.KillFlow(st.flows[fid], note)
+	}
+	if first && st.onTaskEnd != nil {
+		st.onTaskEnd(t, note, preempted)
 	}
 }
 
@@ -197,6 +233,11 @@ type Config struct {
 	// rerouted over surviving equal-cost paths (or killed when none
 	// exists), and the scheduler's OnLinkDown hook fires.
 	LinkFailures []LinkFailure
+	// Obs, when non-nil, receives runtime events (task rejections and
+	// preemptions, deadline misses, link failures) and per-link
+	// utilization samples from every integration step. Nil disables
+	// recording with zero overhead on the hot path.
+	Obs *obs.Recorder
 }
 
 // LinkFailure kills one directed link at an instant.
@@ -220,6 +261,7 @@ type Engine struct {
 	failures []LinkFailure
 	events   int
 	segments map[FlowID][]Segment
+	linkLoad map[topology.LinkID]float64 // scratch for obs utilization sampling
 }
 
 // New builds an engine over the graph/routing for the given task specs.
@@ -232,7 +274,7 @@ func New(g *topology.Graph, r topology.Routing, sched Scheduler, specs []TaskSpe
 	copy(failures, cfg.LinkFailures)
 	sort.SliceStable(failures, func(i, j int) bool { return failures[i].At < failures[j].At })
 	dead := make(map[topology.LinkID]bool)
-	return &Engine{
+	e := &Engine{
 		st: &State{
 			graph:   g,
 			routing: &liveRouting{inner: r, dead: dead},
@@ -243,6 +285,29 @@ func New(g *topology.Graph, r topology.Routing, sched Scheduler, specs []TaskSpe
 		cfg:      cfg,
 		pending:  pending,
 		failures: failures,
+	}
+	e.st.onTaskEnd = e.taskEnded
+	cfg.Obs.EnsureLinks(g.NumLinks())
+	return e
+}
+
+// taskEnded dispatches a task kill to the matching scheduler hook and
+// records the obs event. Runs at most once per task (see State.endTask).
+func (e *Engine) taskEnded(t *Task, note string, preempted bool) {
+	if r := e.cfg.Obs; r != nil {
+		ev := obs.Event{Time: e.st.now, Task: int64(t.ID), Reason: note}
+		if preempted {
+			ev.Kind = obs.KindTaskPreempted
+			ev.Fraction = e.st.TaskCompletionFraction(t.ID)
+		} else {
+			ev.Kind = obs.KindTaskRejected
+		}
+		r.Record(ev)
+	}
+	if preempted {
+		e.sched.OnTaskPreempted(e.st, t)
+	} else {
+		e.sched.OnTaskRejected(e.st, t)
 	}
 }
 
@@ -322,6 +387,8 @@ func (e *Engine) applyFailures() {
 				st.KillFlow(f, "disconnected by link failure")
 			}
 		}
+		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindLinkDown,
+			Task: obs.NoTask, Link: int32(lf.Link)})
 		e.sched.OnLinkDown(st, lf.Link)
 	}
 }
@@ -384,6 +451,8 @@ func (e *Engine) fireDeadlines() {
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i].ID < expired[j].ID })
 	for _, f := range expired {
+		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindDeadlineMissed,
+			Task: int64(f.Task), Flow: int64(f.ID)})
 		e.sched.OnDeadlineMissed(st, f)
 	}
 }
@@ -430,6 +499,38 @@ func (e *Engine) integrate(rates RateMap, dt simtime.Time) {
 		f.BytesSent += bytes
 		if e.cfg.RecordSegments {
 			e.recordSegment(id, simtime.Interval{Start: e.st.now, End: e.st.now + dt}, r)
+		}
+	}
+	if e.cfg.Obs != nil {
+		e.sampleLinkUtilization(rates, dt)
+	}
+}
+
+// sampleLinkUtilization folds this integration step's per-link load into
+// the obs gauges (only when recording is enabled).
+func (e *Engine) sampleLinkUtilization(rates RateMap, dt simtime.Time) {
+	if dt <= 0 {
+		return
+	}
+	if e.linkLoad == nil {
+		e.linkLoad = make(map[topology.LinkID]float64)
+	}
+	clear(e.linkLoad)
+	for id, r := range rates {
+		if r <= 0 {
+			continue
+		}
+		f, ok := e.st.active[id]
+		if !ok {
+			continue
+		}
+		for _, l := range f.Path {
+			e.linkLoad[l] += r
+		}
+	}
+	for l, load := range e.linkLoad {
+		if capac := e.st.graph.Link(l).Capacity; capac > 0 {
+			e.cfg.Obs.SampleLink(int32(l), load/capac, dt)
 		}
 	}
 }

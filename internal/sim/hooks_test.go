@@ -1,0 +1,147 @@
+package sim_test
+
+import (
+	"testing"
+
+	"taps/internal/obs"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+// endSched rejects or preempts tasks from inside OnTaskArrival and counts
+// the resulting hook callbacks, to pin down the kill→hook contract.
+type endSched struct {
+	serialSched
+	rejected  []sim.TaskID
+	preempted []sim.TaskID
+}
+
+func (s *endSched) OnTaskArrival(st *sim.State, task *sim.Task) {
+	// Second arrival sacrifices the first task and is itself discarded.
+	if task.ID == 1 {
+		st.PreemptTask(0, "test: preempted")
+		st.KillTask(1, "test: rejected")
+		// Redundant kills must not re-fire the hooks.
+		st.KillTask(0, "test: double kill")
+		st.PreemptTask(1, "test: double kill")
+	}
+}
+
+func (s *endSched) OnTaskRejected(st *sim.State, task *sim.Task) {
+	s.rejected = append(s.rejected, task.ID)
+}
+
+func (s *endSched) OnTaskPreempted(st *sim.State, task *sim.Task) {
+	s.preempted = append(s.preempted, task.ID)
+}
+
+func TestTaskEndHooksFireOnce(t *testing.T) {
+	g, r, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 100 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 10000}}},
+		{Arrival: 5 * simtime.Millisecond, Deadline: 100 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 10000}}},
+	}
+	rec := obs.NewRecorder(obs.Options{})
+	s := &endSched{}
+	eng := sim.New(g, r, s, specs, sim.Config{Validate: true, Obs: rec})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if len(s.preempted) != 1 || s.preempted[0] != 0 {
+		t.Fatalf("preempted hooks = %v, want [0]", s.preempted)
+	}
+	if len(s.rejected) != 1 || s.rejected[0] != 1 {
+		t.Fatalf("rejected hooks = %v, want [1]", s.rejected)
+	}
+
+	// The engine records matching obs events, with the victim's
+	// completion fraction on the preemption.
+	if n := rec.Count(obs.KindTaskPreempted); n != 1 {
+		t.Fatalf("preempted events = %d", n)
+	}
+	if n := rec.Count(obs.KindTaskRejected); n != 1 {
+		t.Fatalf("rejected events = %d", n)
+	}
+	for _, ev := range rec.Events(0, 0) {
+		switch ev.Kind {
+		case obs.KindTaskPreempted:
+			if ev.Task != 0 || ev.Reason != "test: preempted" {
+				t.Fatalf("preempt event = %+v", ev)
+			}
+			// Task 0 sent 5 ms × 1e6 B/s = 5000 of 10000 bytes.
+			if ev.Fraction <= 0 || ev.Fraction >= 1 {
+				t.Fatalf("fraction = %g, want partial completion", ev.Fraction)
+			}
+		case obs.KindTaskRejected:
+			if ev.Task != 1 || ev.Reason != "test: rejected" {
+				t.Fatalf("reject event = %+v", ev)
+			}
+		}
+	}
+}
+
+// TestDeadlineAndLinkEventsRecorded covers the engine-side event emission
+// that doesn't involve task kills: deadline misses and link failures, plus
+// link-utilization gauges sampled from integration steps.
+func TestDeadlineAndLinkEventsRecorded(t *testing.T) {
+	g, r, a, b := pair()
+	specs := []sim.TaskSpec{{
+		Arrival:  0,
+		Deadline: 2 * simtime.Millisecond, // 10000 B at 1e6 B/s needs 10 ms
+		Flows:    []sim.FlowSpec{{Src: a, Dst: b, Size: 10000}},
+	}}
+	rec := obs.NewRecorder(obs.Options{})
+	eng := sim.New(g, r, serialSched{}, specs, sim.Config{Validate: true, Obs: rec})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n := rec.Count(obs.KindDeadlineMissed); n != 1 {
+		t.Fatalf("deadline-missed events = %d", n)
+	}
+	ev := rec.Events(0, 0)[0]
+	if ev.Kind != obs.KindDeadlineMissed || ev.Task != 0 || ev.Flow != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	// The single a→s→b flow saturates both hops: some link must have
+	// peak utilization 1 and ~10 ms of busy time.
+	var sawBusy bool
+	for _, ls := range rec.LinkStats() {
+		if ls.Peak == 1.0 && ls.BusyTime >= 9*simtime.Millisecond {
+			sawBusy = true
+		}
+	}
+	if !sawBusy {
+		t.Fatalf("no saturated link in %+v", rec.LinkStats())
+	}
+}
+
+func TestLinkDownEventRecorded(t *testing.T) {
+	g, r, a, b := pair()
+	specs := []sim.TaskSpec{{
+		Arrival:  0,
+		Deadline: 100 * simtime.Millisecond,
+		Flows:    []sim.FlowSpec{{Src: a, Dst: b, Size: 10000}},
+	}}
+	rec := obs.NewRecorder(obs.Options{})
+	eng := sim.New(g, r, serialSched{}, specs, sim.Config{
+		Validate: true, Obs: rec,
+		LinkFailures: []sim.LinkFailure{{At: simtime.Millisecond, Link: 0}},
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n := rec.Count(obs.KindLinkDown); n != 1 {
+		t.Fatalf("link-down events = %d", n)
+	}
+	for _, ev := range rec.Events(0, 0) {
+		if ev.Kind == obs.KindLinkDown {
+			if ev.Link != 0 || ev.Task != obs.NoTask || ev.Time != simtime.Millisecond {
+				t.Fatalf("link-down event = %+v", ev)
+			}
+		}
+	}
+}
