@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-json
 
 # check is the full CI gate: formatting, vet, build, tests with the race
 # detector. CI (.github/workflows/ci.yml) runs exactly this target.
@@ -26,3 +26,13 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-json refreshes the "after" section of BENCH_planner.json: the
+# planner hot-path micro-benchmarks (interval calculus, PlanAll, full TAPS
+# runs) plus the end-to-end Fig6/Fig7 deadline sweeps. The "baseline"
+# section is pinned at the pre-optimization numbers; see EXPERIMENTS.md.
+bench-json:
+	@{ \
+		$(GO) test -run '^$$' -bench . -benchmem ./internal/simtime ./internal/core && \
+		$(GO) test -run '^$$' -bench 'BenchmarkFig6DeadlineSweepSingleRooted|BenchmarkFig7DeadlineSweepFatTree' -benchmem . ; \
+	} | $(GO) run ./cmd/benchjson -o BENCH_planner.json -label after

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"taps/internal/core"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+// planFingerprint flattens a plan into a comparable string: path links,
+// slice intervals, and finish time per entry, in order.
+func planFingerprint(entries []core.PlanEntry) string {
+	out := ""
+	for i, e := range entries {
+		out += fmt.Sprintf("#%d path=%v slices=%v finish=%d\n", i, e.Path, e.Slices, e.Finish)
+	}
+	return out
+}
+
+// TestParallelPlanDeterminism: parallel candidate-path evaluation must
+// produce byte-identical plans (paths, slices, finish times) to the
+// sequential planner, across several workload seeds, on both the
+// single-rooted tree and the fat-tree, for several worker counts.
+func TestParallelPlanDeterminism(t *testing.T) {
+	topos := []struct {
+		name string
+		mk   func() (*topology.Graph, topology.Routing)
+	}{
+		{"single-rooted-tree", func() (*topology.Graph, topology.Routing) {
+			g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+				Pods: 2, RacksPerPod: 2, HostsPerRack: 4, LinkCapacity: topology.Gbps(1),
+			})
+			return g, topology.NewCachedRouting(r)
+		}},
+		{"fat-tree", func() (*topology.Graph, topology.Routing) {
+			g, r := topology.FatTree(topology.FatTreeSpec{K: 4, LinkCapacity: topology.Gbps(1)})
+			return g, topology.NewCachedRouting(r)
+		}},
+	}
+	for _, tc := range topos {
+		t.Run(tc.name, func(t *testing.T) {
+			g, r := tc.mk()
+			hosts := g.Hosts()
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				reqs := randReqs(rng, hosts, 40)
+				now := simtime.Time(rng.Intn(1000))
+
+				seq := &core.Planner{Graph: g, Routing: r, MaxPaths: 8}
+				seqOcc := make(map[topology.LinkID]simtime.IntervalSet)
+				want := planFingerprint(seq.PlanAll(now, reqs, seqOcc))
+
+				for _, workers := range []int{2, 4, 7} {
+					par := &core.Planner{Graph: g, Routing: r, MaxPaths: 8, Workers: workers}
+					parOcc := make(map[topology.LinkID]simtime.IntervalSet)
+					got := planFingerprint(par.PlanAll(now, reqs, parOcc))
+					if got != want {
+						t.Fatalf("seed %d workers %d: parallel plan differs from sequential\nseq:\n%s\npar:\n%s",
+							seed, workers, want, got)
+					}
+					if len(parOcc) != len(seqOcc) {
+						t.Fatalf("seed %d workers %d: occupancy map sizes differ", seed, workers)
+					}
+					for l, set := range seqOcc {
+						if parOcc[l].String() != set.String() {
+							t.Fatalf("seed %d workers %d link %d: occ %v != %v",
+								seed, workers, l, parOcc[l], set)
+						}
+					}
+					if par.PathsTried() != seq.PathsTried() {
+						t.Fatalf("seed %d workers %d: pathsTried %d != %d",
+							seed, workers, par.PathsTried(), seq.PathsTried())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSchedulerEndToEnd: a full simulation with PlannerWorkers set
+// must reproduce the sequential run exactly — admissions, finish times,
+// flow states.
+func TestParallelSchedulerEndToEnd(t *testing.T) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 4, LinkCapacity: topology.Gbps(1)})
+	for seed := int64(1); seed <= 3; seed++ {
+		specs := workload.Generate(g, workload.Spec{
+			Tasks: 10, MeanFlowsPerTask: 12, ArrivalRate: 200,
+			MeanDeadline: 30 * simtime.Millisecond, Seed: seed,
+		})
+		runCfg := func(workers int) *sim.Result {
+			cfg := core.DefaultConfig()
+			cfg.PlannerWorkers = workers
+			eng := sim.New(g, topology.NewCachedRouting(r), core.New(cfg), specs,
+				sim.Config{Validate: true, MaxTime: simtime.Time(1e10)})
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want, got := runCfg(0), runCfg(4)
+		if len(want.Flows) != len(got.Flows) {
+			t.Fatalf("seed %d: flow counts differ", seed)
+		}
+		for i := range want.Flows {
+			wf, gf := want.Flows[i], got.Flows[i]
+			if wf.State != gf.State || wf.Finish != gf.Finish || wf.BytesSent != gf.BytesSent {
+				t.Fatalf("seed %d flow %d: sequential (state=%v finish=%d sent=%g) != parallel (state=%v finish=%d sent=%g)",
+					seed, i, wf.State, wf.Finish, wf.BytesSent, gf.State, gf.Finish, gf.BytesSent)
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -27,19 +30,105 @@ type PlanEntry struct {
 // Planner implements Alg. 2 (PathCalculation) and Alg. 3 (TimeAllocation)
 // over a topology, independent of any simulation engine: the flow-level
 // simulator and the SDN testbed controller both drive it.
+//
+// A Planner carries scratch buffers reused across calls, so it must be used
+// through a single pointer and never copied. Calls are not safe for
+// concurrent use; Workers > 1 parallelizes inside a call.
 type Planner struct {
 	Graph    *topology.Graph
 	Routing  topology.Routing
 	MaxPaths int
+	// Workers > 1 evaluates a flow's candidate paths concurrently on that
+	// many goroutines. The winner is the lowest (finish, path index), so
+	// plans are bit-identical to the sequential mode. 0 or 1 is
+	// sequential. Routing is only ever called from the driving goroutine,
+	// so non-thread-safe routings (e.g. NewCachedRouting) remain fine.
+	Workers int
 
 	// pathsTried counts candidate paths examined across all PlanAll
 	// calls; observability instrumentation reads deltas around a pass.
-	// Not synchronized: callers already serialize planner access.
-	pathsTried int64
+	// Atomic because parallel workers update it concurrently.
+	pathsTried atomic.Int64
+
+	// scratch is the sequential-mode arena; wscratch holds one arena per
+	// parallel worker, created lazily.
+	scratch  evalScratch
+	wscratch []*evalScratch
+}
+
+// evalScratch is the per-evaluator buffer arena: every candidate-path
+// evaluation runs the merge → complement → take pipeline entirely inside
+// these reused buffers, so the steady-state loop performs no allocations.
+// best double-buffers with taken — when a candidate becomes the best so
+// far the two are swapped, which keeps the winning slices without copying.
+type evalScratch struct {
+	sets     []simtime.IntervalSet // per-link occupancy views of one path
+	occupied simtime.IntervalSet   // k-way union of sets (Alg. 3's Tocp)
+	idle     simtime.IntervalSet   // complement of occupied within window
+	taken    simtime.IntervalSet   // first-E-units allocation on idle
+	best     simtime.IntervalSet   // slices of the best candidate so far
+
+	bestIdx    int // candidate index of best, -1 if none fit
+	bestFinish simtime.Time
+}
+
+// evalCandidates runs the merge → complement → take pipeline for each
+// assigned candidate path, tracking the (finish, index)-lowest winner in
+// sc. next distributes path indices; in sequential mode it is local, in
+// parallel mode it is shared by all workers.
+func (p *Planner) evalCandidates(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView, paths []topology.Path, sc *evalScratch, next *atomic.Int64) {
+	sc.bestIdx, sc.bestFinish = -1, simtime.Infinity
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(paths) {
+			return
+		}
+		if len(paths[i]) == 0 {
+			continue
+		}
+		p.pathsTried.Add(1)
+		finish, ok := p.evalPath(now, r, window, occ, paths[i], sc)
+		if ok && finish < sc.bestFinish {
+			sc.bestIdx, sc.bestFinish = i, finish
+			sc.taken, sc.best = sc.best, sc.taken
+		}
+	}
 }
 
 // PathsTried returns the cumulative number of candidate paths examined.
-func (p *Planner) PathsTried() int64 { return p.pathsTried }
+func (p *Planner) PathsTried() int64 { return p.pathsTried.Load() }
+
+// occView resolves per-link occupancy during a planning pass. In direct
+// mode (base == nil) reads and writes go straight to write, which the
+// caller owns and PlanAll mutates — the historical PlanAll contract. In
+// copy-on-write mode (PlanAllCOW) reads fall through to base and a link is
+// cloned into write only right before its first mutation, so a failed pass
+// costs no copies and leaves base untouched.
+type occView struct {
+	write map[topology.LinkID]simtime.IntervalSet
+	base  map[topology.LinkID]simtime.IntervalSet
+}
+
+func (v *occView) get(l topology.LinkID) simtime.IntervalSet {
+	if s, ok := v.write[l]; ok {
+		return s
+	}
+	if v.base != nil {
+		return v.base[l]
+	}
+	return simtime.IntervalSet{}
+}
+
+// add unions slices into link l's occupancy, cloning from base first in
+// copy-on-write mode.
+func (v *occView) add(l topology.LinkID, slices *simtime.IntervalSet) {
+	set, ok := v.write[l]
+	if !ok && v.base != nil {
+		set = v.base[l].Clone()
+	}
+	set.UnionInPlace(slices)
+	v.write[l] = set
+}
 
 // hostCapacity estimates the line rate available to a flow before a path
 // is chosen: the capacity of the source host's uplink.
@@ -62,6 +151,22 @@ func (p *Planner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topology.Lin
 	if occ == nil {
 		occ = make(map[topology.LinkID]simtime.IntervalSet)
 	}
+	return p.planAll(now, reqs, &occView{write: occ})
+}
+
+// PlanAllCOW plans against base occupancy without mutating it: only links
+// actually claimed by a winning path are cloned, into the returned touched
+// map. On acceptance the caller merges touched back into its own state; on
+// rejection it simply drops it. This is the FastAdmission path — the
+// historical alternative was a deep clone of the entire occupancy map per
+// arrival.
+func (p *Planner) PlanAllCOW(now simtime.Time, reqs []FlowReq, base map[topology.LinkID]simtime.IntervalSet) ([]PlanEntry, map[topology.LinkID]simtime.IntervalSet) {
+	v := &occView{write: make(map[topology.LinkID]simtime.IntervalSet, 16), base: base}
+	entries := p.planAll(now, reqs, v)
+	return entries, v.write
+}
+
+func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []PlanEntry {
 	// Window end: beyond maxDeadline + serialized total work every flow
 	// finds idle slices, so TakeFirst cannot fail inside the window.
 	var sumE simtime.Time
@@ -72,7 +177,12 @@ func (p *Planner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topology.Lin
 		}
 		maxDeadline = max(maxDeadline, r.Deadline)
 	}
-	for _, set := range occ {
+	for _, set := range occ.write {
+		if ivs := set.Intervals(); len(ivs) > 0 {
+			maxDeadline = max(maxDeadline, ivs[len(ivs)-1].End)
+		}
+	}
+	for _, set := range occ.base {
 		if ivs := set.Intervals(); len(ivs) > 0 {
 			maxDeadline = max(maxDeadline, ivs[len(ivs)-1].End)
 		}
@@ -88,42 +198,82 @@ func (p *Planner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topology.Lin
 
 // planOne runs Alg. 2 lines 2-14 for a single flow and commits its slices
 // to occ.
-func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, occ map[topology.LinkID]simtime.IntervalSet) PlanEntry {
+func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView) PlanEntry {
 	best := PlanEntry{Finish: simtime.Infinity}
 	if r.Src == r.Dst || r.Bytes <= 0 {
 		best.Finish = now
 		return best
 	}
-	for _, path := range p.Routing.Paths(r.Src, r.Dst, p.MaxPaths, r.Key) {
-		if len(path) == 0 {
-			continue
-		}
-		p.pathsTried++
-		e := durationFor(r.Bytes, p.Graph.MinCapacity(path))
-		// Alg. 3: Tocp = union of the links' occupied sets; idle =
-		// complement; take the first E units.
-		var occupied simtime.IntervalSet
-		for _, l := range path {
-			set := occ[l]
-			occupied.UnionInPlace(&set)
-		}
-		idle := occupied.ComplementWithin(window)
-		taken, finish, ok := idle.TakeFirst(now, e)
-		if !ok {
-			continue
-		}
-		if finish < best.Finish {
-			best = PlanEntry{Path: path, Slices: taken, Finish: finish}
-		}
+	paths := p.Routing.Paths(r.Src, r.Dst, p.MaxPaths, r.Key)
+	var winner *evalScratch
+	if p.Workers > 1 && len(paths) > 1 {
+		winner = p.evalCandidatesParallel(now, r, window, occ, paths)
+	} else {
+		var next atomic.Int64
+		p.evalCandidates(now, r, window, occ, paths, &p.scratch, &next)
+		winner = &p.scratch
 	}
-	if best.Path != nil {
-		for _, l := range best.Path {
-			set := occ[l]
-			set.UnionInPlace(&best.Slices)
-			occ[l] = set
-		}
+	if winner == nil || winner.bestIdx < 0 {
+		return best
+	}
+	best.Path = paths[winner.bestIdx]
+	best.Finish = winner.bestFinish
+	// The clone is the single allocation the planning of one flow
+	// performs; the copy is retained in the returned plan.
+	best.Slices = winner.best.Clone()
+	for _, l := range best.Path {
+		occ.add(l, &best.Slices)
 	}
 	return best
+}
+
+// evalPath runs Alg. 3 for one candidate path entirely inside sc: Tocp =
+// k-way merge of the links' occupancies, idle = complement within the
+// window, allocation = first E units of idle. The taken slices are left in
+// sc.taken; nothing is allocated once sc is warm.
+func (p *Planner) evalPath(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView, path topology.Path, sc *evalScratch) (simtime.Time, bool) {
+	e := durationFor(r.Bytes, p.Graph.MinCapacity(path))
+	sc.sets = sc.sets[:0]
+	for _, l := range path {
+		if set := occ.get(l); !set.Empty() {
+			sc.sets = append(sc.sets, set)
+		}
+	}
+	simtime.MergeInto(&sc.occupied, sc.sets...)
+	sc.occupied.ComplementWithinInto(window, &sc.idle)
+	return sc.idle.TakeFirstInto(now, e, &sc.taken)
+}
+
+// evalCandidatesParallel fans the candidate paths out over a bounded worker
+// pool. Workers only read occ and track a local best inside their own
+// scratch arena; the deterministic winner — lowest (finish, path index),
+// exactly the sequential loop's choice — is selected after the barrier.
+func (p *Planner) evalCandidatesParallel(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView, paths []topology.Path) *evalScratch {
+	workers := min(p.Workers, len(paths))
+	for len(p.wscratch) < workers {
+		p.wscratch = append(p.wscratch, &evalScratch{})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sc *evalScratch) {
+			defer wg.Done()
+			p.evalCandidates(now, r, window, occ, paths, sc, &next)
+		}(p.wscratch[w])
+	}
+	wg.Wait()
+	var winner *evalScratch
+	for _, sc := range p.wscratch[:workers] {
+		if sc.bestIdx < 0 {
+			continue
+		}
+		if winner == nil || sc.bestFinish < winner.bestFinish ||
+			(sc.bestFinish == winner.bestFinish && sc.bestIdx < winner.bestIdx) {
+			winner = sc
+		}
+	}
+	return winner
 }
 
 // durationFor mirrors sim.DurationFor without importing sim (core must stay

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"taps/internal/core"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+)
+
+// TestRatesCacheInvalidatedByReplan is the regression test for the Rates
+// cache / flush-at-batch-window interaction: a batched arrival is decided
+// mid-simulation, the resulting re-plan shifts an in-flight flow's slices,
+// and the shifted flow must follow the NEW plan — a stale cached transmit
+// state would let it keep the old one.
+//
+// Topology: a—s—b at 1e6 B/s (1 byte/µs). Task A (4000 B, loose deadline)
+// arrives at 0, is decided at its 1 ms flush and planned [1, 5ms). Task B
+// (1000 B, tight deadline) arrives mid-transmission at 1.5 ms and is held
+// until t=2.5 ms; that flush re-plans with EDF putting B first: B gets
+// [2.5, 3.5ms) and A's remaining 2500 B move to [3.5, 6ms). Correct
+// finishes are therefore B=3.5 ms, A=6 ms; a stale cached transmit state
+// for A would let it finish at 5 ms on the old plan.
+func TestRatesCacheInvalidatedByReplan(t *testing.T) {
+	g, r, a, b := pair()
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 20 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 4000}}},
+		{Arrival: 1500, Deadline: 3 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	cfg := core.DefaultConfig()
+	cfg.BatchWindow = 1 * simtime.Millisecond
+	res := run(t, g, r, core.New(cfg), specs)
+
+	if !res.Tasks[0].Completed(res.Flows) || !res.Tasks[1].Completed(res.Flows) {
+		t.Fatalf("both tasks must complete: %+v", res.Tasks)
+	}
+	if got := res.Flows[1].Finish; got != 3500 {
+		t.Fatalf("batched task B finish = %d, want 3.5 ms", got)
+	}
+	if got := res.Flows[0].Finish; got != 6*simtime.Millisecond {
+		t.Fatalf("preempted task A finish = %d, want 6 ms (stale rate cache?)", got)
+	}
+}
+
+// TestRatesHorizonRespectsBatchFlush: while arrivals are parked in the
+// batch window, Rates must report the flush instant as the horizon so the
+// engine wakes up to decide them even if no flow boundary intervenes.
+func TestRatesHorizonRespectsBatchFlush(t *testing.T) {
+	g, r, a, b := pair()
+	// A single batched task on an otherwise idle network: nothing
+	// transmits before the flush, so only the flushAt horizon can wake
+	// the engine at 2 ms. Completion proves the wake-up happened.
+	specs := []sim.TaskSpec{
+		{Arrival: 0, Deadline: 10 * simtime.Millisecond,
+			Flows: []sim.FlowSpec{{Src: a, Dst: b, Size: 1000}}},
+	}
+	cfg := core.DefaultConfig()
+	cfg.BatchWindow = 2 * simtime.Millisecond
+	res := run(t, g, r, core.New(cfg), specs)
+	if !res.Tasks[0].Completed(res.Flows) {
+		t.Fatal("batched task never decided: flush horizon lost")
+	}
+	if got := res.Flows[0].Finish; got != 3*simtime.Millisecond {
+		t.Fatalf("finish = %d, want 3 ms (decided at the 2 ms flush)", got)
+	}
+}

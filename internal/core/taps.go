@@ -81,6 +81,12 @@ type Config struct {
 	// simulated workloads all flows of a task arrive together, so T only
 	// matters across tasks.
 	BatchWindow simtime.Time
+	// PlannerWorkers > 1 evaluates each flow's candidate paths on that
+	// many goroutines inside the planner. Off (sequential) by default;
+	// plans are bit-identical to sequential regardless of the setting
+	// (the winner is the lowest (finish, path-index) pair). Only worth
+	// enabling on multi-rooted topologies with a meaningful MaxPaths.
+	PlannerWorkers int
 }
 
 // DefaultConfig is the configuration used throughout the paper's
@@ -97,7 +103,21 @@ type Scheduler struct {
 	slices map[sim.FlowID]simtime.IntervalSet
 	occ    map[topology.LinkID]simtime.IntervalSet
 
+	// rc caches per-flow transmit state, dense-indexed by FlowID and
+	// validated against gen: commit bumps gen, invalidating every entry in
+	// O(1); fast admission stamps just the new flows. Each entry holds the
+	// flow's path line rate frozen at commit time (so Rates stops
+	// recomputing Graph().MinCapacity every tick) and the transmit state
+	// memoized between slice boundaries: the state computed at time t is
+	// exact for every instant in [t, validUntil).
+	rc  []flowRateState
+	gen uint32
+
 	discarded map[sim.TaskID]bool
+
+	// flowBuf and rates are Rates-call scratch, reused tick after tick.
+	flowBuf []*sim.Flow
+	rates   sim.RateMap
 
 	// Alg. 1 batching: tasks waiting for the window to close.
 	pending []sim.TaskID
@@ -112,14 +132,40 @@ type Scheduler struct {
 	obs *obs.Recorder
 }
 
+// flowRateState is one Rates-cache entry: while now < validUntil the flow
+// transmits at linerate iff active, and its next plan boundary is
+// validUntil. The entry belongs to the plan generation that stamped it;
+// rateGen additionally guards the memoized (active, validUntil) pair,
+// which expires at slice boundaries while linerate lives for the whole
+// plan generation.
+type flowRateState struct {
+	lrGen      uint32 // linerate valid iff lrGen == Scheduler.gen
+	rateGen    uint32 // (active, validUntil) valid iff rateGen == Scheduler.gen
+	linerate   float64
+	validUntil simtime.Time
+	active     bool
+}
+
 // New returns a TAPS scheduler with the given configuration.
 func New(cfg Config) *Scheduler {
 	return &Scheduler{
 		cfg:       cfg,
 		slices:    make(map[sim.FlowID]simtime.IntervalSet),
 		occ:       make(map[topology.LinkID]simtime.IntervalSet),
+		gen:       1,
 		discarded: make(map[sim.TaskID]bool),
 	}
+}
+
+// cacheEntry returns the flow's dense cache slot, growing the backing
+// slice on first sight of a new flow ID.
+func (s *Scheduler) cacheEntry(id sim.FlowID) *flowRateState {
+	if int(id) >= len(s.rc) {
+		grown := make([]flowRateState, int(id)+1+len(s.rc))
+		copy(grown, s.rc)
+		s.rc = grown
+	}
+	return &s.rc[id]
 }
 
 // Name implements sim.Scheduler.
@@ -165,9 +211,7 @@ type allocation struct {
 // planAll runs Alg. 2 (via the Planner) over the given flows, already
 // sorted by priority, and classifies misses.
 func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
-	if s.planner == nil {
-		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(), MaxPaths: s.cfg.MaxPaths}
-	}
+	s.ensurePlanner(st)
 	reqs := make([]FlowReq, len(flows))
 	for i, f := range flows {
 		reqs[i] = FlowReq{
@@ -288,10 +332,15 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 // the new task's flows into the current occupancy. On success the existing
 // plan stays untouched and the new slices are committed; on any miss it
 // reports false and the caller falls back to the full re-plan.
-func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
+func (s *Scheduler) ensurePlanner(st *sim.State) {
 	if s.planner == nil {
-		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(), MaxPaths: s.cfg.MaxPaths}
+		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(),
+			MaxPaths: s.cfg.MaxPaths, Workers: s.cfg.PlannerWorkers}
 	}
+}
+
+func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
+	s.ensurePlanner(st)
 	var flows []*sim.Flow
 	for _, fid := range task.Flows {
 		f := st.Flow(fid)
@@ -305,19 +354,16 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 		reqs[i] = FlowReq{Key: uint64(f.ID), Src: f.Src, Dst: f.Dst,
 			Bytes: f.Remaining(), Deadline: f.Deadline}
 	}
-	// Work on a copy of the occupancy so a failed attempt is free of
-	// side effects.
-	occ := make(map[topology.LinkID]simtime.IntervalSet, len(s.occ))
-	for l, set := range s.occ {
-		occ[l] = set.Clone()
-	}
 	var t0 time.Time
 	var p0 int64
 	if s.obs != nil {
 		t0 = time.Now()
 		p0 = s.planner.PathsTried()
 	}
-	entries := s.planner.PlanAll(st.Now(), reqs, occ)
+	// Copy-on-write: the pass reads s.occ directly and clones only the
+	// links a winning path claims, so a failed attempt costs no copies
+	// and has no side effects.
+	entries, touched := s.planner.PlanAllCOW(st.Now(), reqs, s.occ)
 	for i, e := range entries {
 		if e.Path == nil || e.Finish > reqs[i].Deadline {
 			return false
@@ -334,11 +380,22 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 			Duration:   time.Since(t0),
 		})
 	}
+	now := st.Now()
+	g := st.Graph()
 	for i, f := range flows {
 		f.Path = entries[i].Path
 		s.slices[f.ID] = entries[i].Slices
+		// Only the new flows' slices changed; every other flow's cached
+		// rate state stays exact. validUntil = now forces the first Rates
+		// lookup to recompute the new flow's transmit state.
+		c := s.cacheEntry(f.ID)
+		*c = flowRateState{lrGen: s.gen, rateGen: s.gen,
+			linerate: g.MinCapacity(f.Path), validUntil: now}
 	}
-	s.occ = occ
+	for l, set := range touched {
+		set.GCBefore(now)
+		s.occ[l] = set
+	}
 	return true
 }
 
@@ -382,12 +439,23 @@ func (s *Scheduler) replanActive(st *sim.State) *allocation {
 }
 
 // commit installs a tentative plan as the controller state: per-flow
-// slices and routes, per-link occupancy.
+// slices and routes, per-link occupancy. Occupancy is GC'd up to now so the
+// per-link sets stop accumulating dead history (allocation never looks
+// before now), and the Rates caches are rebuilt for the new plan.
 func (s *Scheduler) commit(st *sim.State, plan *allocation) {
+	now := st.Now()
 	s.slices = plan.slices
 	s.occ = plan.occ
+	for l, set := range s.occ {
+		set.GCBefore(now)
+		s.occ[l] = set
+	}
+	g := st.Graph()
+	s.gen++ // invalidates every cached per-flow rate state at once
 	for id, p := range plan.paths {
 		st.Flow(id).Path = p
+		c := s.cacheEntry(id)
+		c.lrGen, c.linerate = s.gen, g.MinCapacity(p)
 	}
 }
 
@@ -418,26 +486,51 @@ func (s *Scheduler) OnLinkDown(st *sim.State, link topology.LinkID) {
 // Rates implements sim.Scheduler: a flow transmits at line rate during its
 // pre-allocated slices and is silent otherwise. The horizon is the next
 // slice boundary of any active flow.
+//
+// Per-flow transmit state is constant between slice boundaries, so each
+// flow's (active, rate, next-boundary) triple is cached until its boundary
+// passes: a flow whose cached boundary is still ahead of now — in
+// particular one far past the current horizon minimum — is served from the
+// cache without re-searching its slice set. The cache is invalidated by
+// commit (full re-plan) and per flow by fast admission.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
 	now := st.Now()
 	if len(s.pending) > 0 && now >= s.flushAt {
 		s.flushPending(st)
 	}
-	rates := make(sim.RateMap)
+	if s.rates == nil {
+		s.rates = make(sim.RateMap)
+	}
+	clear(s.rates)
+	rates := s.rates
 	horizon := simtime.Infinity
 	if len(s.pending) > 0 {
 		horizon = s.flushAt
 	}
-	for _, f := range st.ActiveFlows() {
-		sl, ok := s.slices[f.ID]
-		if !ok {
-			continue
+	flows := st.AppendActiveFlows(s.flowBuf[:0])
+	s.flowBuf = flows[:0]
+	for _, f := range flows {
+		c := s.cacheEntry(f.ID)
+		if c.rateGen != s.gen || now >= c.validUntil {
+			sl, ok := s.slices[f.ID]
+			if !ok {
+				continue
+			}
+			if c.lrGen != s.gen {
+				// Planned before this generation but not re-planned by it
+				// (cannot happen today: commit stamps every planned flow);
+				// recompute defensively.
+				c.lrGen, c.linerate = s.gen, st.Graph().MinCapacity(f.Path)
+			}
+			c.rateGen = s.gen
+			c.active = sl.Contains(now)
+			c.validUntil = sl.NextBoundaryAfter(now)
 		}
-		if sl.Contains(now) {
-			rates[f.ID] = st.Graph().MinCapacity(f.Path)
+		if c.active {
+			rates[f.ID] = c.linerate
 		}
-		if b := sl.NextBoundaryAfter(now); b < horizon {
-			horizon = b
+		if c.validUntil < horizon {
+			horizon = c.validUntil
 		}
 	}
 	return rates, horizon

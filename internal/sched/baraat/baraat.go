@@ -28,6 +28,11 @@ type Scheduler struct {
 	// KeepExpired keeps transmitting flows past their deadlines
 	// (ablation; the evaluation default stops them).
 	KeepExpired bool
+
+	// per-tick scratch, reused across Rates calls
+	flows []*sim.Flow
+	res   *sched.Residual
+	rates sim.RateMap
 }
 
 // New returns the paper's Baraat baseline.
@@ -45,7 +50,8 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 
 // Rates implements sim.Scheduler.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	flows := st.ActiveFlows()
+	flows := st.AppendActiveFlows(s.flows[:0])
+	s.flows = flows[:0]
 	// FIFO across tasks (task IDs are assigned in arrival order), SJF
 	// within a task.
 	sched.SortFlows(flows, func(a, b *sim.Flow) bool {
@@ -57,5 +63,10 @@ func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
 		}
 		return a.ID < b.ID
 	})
-	return sched.ExclusiveGreedy(st.Graph(), flows), simtime.Infinity
+	if s.res == nil {
+		s.res = sched.NewResidual(st.Graph())
+		s.rates = make(sim.RateMap, len(flows))
+	}
+	clear(s.rates)
+	return sched.ExclusiveGreedyInto(s.res, flows, s.rates), simtime.Infinity
 }

@@ -15,7 +15,6 @@ import (
 	"taps/internal/sched"
 	"taps/internal/sim"
 	"taps/internal/simtime"
-	"taps/internal/topology"
 )
 
 // Scheduler is the D2TCP policy. The zero value is ready to use.
@@ -24,6 +23,12 @@ type Scheduler struct {
 	// MaxWeight clamps the urgency weight (default 4, mirroring the
 	// bounded γ of the protocol). Zero uses the default.
 	MaxWeight float64
+
+	// per-tick scratch, reused across Rates calls
+	flows   []*sim.Flow
+	weights []float64
+	fair    sched.FairAllocator
+	rates   sim.RateMap
 }
 
 // New returns the D2TCP extension baseline.
@@ -40,22 +45,32 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 // Rates implements sim.Scheduler with urgency-weighted progressive
 // filling.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	flows := st.ActiveFlows()
+	flows := st.AppendActiveFlows(s.flows[:0])
+	s.flows = flows[:0]
 	maxW := s.MaxWeight
 	if maxW <= 0 {
 		maxW = 4
 	}
-	weights := make(map[sim.FlowID]float64, len(flows))
-	now := st.Now()
-	for _, f := range flows {
-		weights[f.ID] = urgencyWeight(st, f, now, maxW)
+	if cap(s.weights) < len(flows) {
+		s.weights = make([]float64, len(flows))
 	}
-	return weightedMaxMin(st.Graph(), flows, weights), simtime.Infinity
+	weights := s.weights[:len(flows)]
+	now := st.Now()
+	for i, f := range flows {
+		weights[i] = urgencyWeight(st, flows, f, now, maxW)
+	}
+	if s.rates == nil {
+		s.rates = make(sim.RateMap, len(flows))
+	}
+	clear(s.rates)
+	return s.fair.WeightedMaxMin(st.Graph(), flows, weights, s.rates), simtime.Infinity
 }
 
 // urgencyWeight compares the rate the flow needs against an equal share of
-// its bottleneck: weight 1 means "fair share exactly suffices".
-func urgencyWeight(st *sim.State, f *sim.Flow, now simtime.Time, maxW float64) float64 {
+// its bottleneck: weight 1 means "fair share exactly suffices". flows is
+// the active set, passed in so the competitor scan reuses one snapshot
+// instead of materializing the active flows once per flow.
+func urgencyWeight(st *sim.State, flows []*sim.Flow, f *sim.Flow, now simtime.Time, maxW float64) float64 {
 	ttd := f.Deadline - now
 	if ttd <= 0 {
 		return maxW
@@ -68,7 +83,7 @@ func urgencyWeight(st *sim.State, f *sim.Flow, now simtime.Time, maxW float64) f
 	// Count competitors on the flow's first link as the congestion
 	// estimate (the sender's view of its bottleneck).
 	n := 1
-	for _, other := range st.ActiveFlows() {
+	for _, other := range flows {
 		if other.ID == f.ID {
 			continue
 		}
@@ -88,61 +103,4 @@ func urgencyWeight(st *sim.State, f *sim.Flow, now simtime.Time, maxW float64) f
 		w = maxW
 	}
 	return w
-}
-
-// weightedMaxMin is progressive filling where a flow receives weight-many
-// shares of each bottleneck.
-func weightedMaxMin(g *topology.Graph, flows []*sim.Flow, weights map[sim.FlowID]float64) sim.RateMap {
-	rates := make(sim.RateMap, len(flows))
-	flowsOn := make(map[topology.LinkID][]*sim.Flow)
-	remainingCap := make(map[topology.LinkID]float64)
-	unfrozen := make(map[sim.FlowID]*sim.Flow, len(flows))
-	for _, f := range flows {
-		if len(f.Path) == 0 {
-			continue
-		}
-		unfrozen[f.ID] = f
-		for _, l := range f.Path {
-			flowsOn[l] = append(flowsOn[l], f)
-			remainingCap[l] = g.Link(l).Capacity
-		}
-	}
-	for len(unfrozen) > 0 {
-		var bottleneck topology.LinkID
-		perWeight := -1.0
-		found := false
-		for l, fs := range flowsOn {
-			var w float64
-			for _, f := range fs {
-				if _, ok := unfrozen[f.ID]; ok {
-					w += weights[f.ID]
-				}
-			}
-			if w == 0 {
-				continue
-			}
-			s := remainingCap[l] / w
-			if !found || s < perWeight || (s == perWeight && l < bottleneck) {
-				bottleneck, perWeight, found = l, s, true
-			}
-		}
-		if !found {
-			break
-		}
-		for _, f := range flowsOn[bottleneck] {
-			if _, ok := unfrozen[f.ID]; !ok {
-				continue
-			}
-			r := perWeight * weights[f.ID]
-			rates[f.ID] = r
-			delete(unfrozen, f.ID)
-			for _, l := range f.Path {
-				remainingCap[l] -= r
-				if remainingCap[l] < 0 {
-					remainingCap[l] = 0
-				}
-			}
-		}
-	}
-	return rates
 }

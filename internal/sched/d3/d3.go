@@ -13,7 +13,8 @@
 package d3
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"taps/internal/sched"
 	"taps/internal/sim"
@@ -23,6 +24,10 @@ import (
 // Scheduler is the D3 policy. The zero value is ready to use.
 type Scheduler struct {
 	sim.NopHooks
+	// per-tick scratch, reused across Rates calls
+	flows []*sim.Flow
+	res   *sched.Residual
+	rates sim.RateMap
 }
 
 // New returns the paper's D3 baseline.
@@ -38,17 +43,24 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 
 // Rates implements sim.Scheduler.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	flows := st.ActiveFlows()
+	flows := st.AppendActiveFlows(s.flows[:0])
+	s.flows = flows[:0]
 	// FCFS: earlier arrival first; flow ID breaks ties (IDs are assigned
 	// in arrival order).
-	sort.SliceStable(flows, func(i, j int) bool {
-		if flows[i].Arrival != flows[j].Arrival {
-			return flows[i].Arrival < flows[j].Arrival
+	slices.SortFunc(flows, func(a, b *sim.Flow) int {
+		if a.Arrival != b.Arrival {
+			return cmp.Compare(a.Arrival, b.Arrival)
 		}
-		return flows[i].ID < flows[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
-	res := sched.NewResidual(st.Graph())
-	rates := make(sim.RateMap, len(flows))
+	if s.res == nil {
+		s.res = sched.NewResidual(st.Graph())
+		s.rates = make(sim.RateMap, len(flows))
+	}
+	res := s.res
+	res.Reset()
+	clear(s.rates)
+	rates := s.rates
 	now := st.Now()
 	// Pass 1: grant the deadline-derived request.
 	for _, f := range flows {

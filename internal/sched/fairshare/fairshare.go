@@ -21,6 +21,11 @@ type Scheduler struct {
 	// deadlines (pure TCP behaviour, no useless-transmission avoidance).
 	// The paper's variant stops them; this knob exists for ablations.
 	KeepExpired bool
+
+	// per-tick scratch, reused across Rates calls
+	flows []*sim.Flow
+	fair  sched.FairAllocator
+	rates sim.RateMap
 }
 
 // New returns the paper's Fair Sharing baseline.
@@ -39,5 +44,11 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 
 // Rates implements sim.Scheduler with max-min fair progressive filling.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	return sched.MaxMinFair(st.Graph(), st.ActiveFlows()), simtime.Infinity
+	flows := st.AppendActiveFlows(s.flows[:0])
+	s.flows = flows[:0]
+	if s.rates == nil {
+		s.rates = make(sim.RateMap, len(flows))
+	}
+	clear(s.rates)
+	return s.fair.MaxMinFair(st.Graph(), flows, s.rates), simtime.Infinity
 }

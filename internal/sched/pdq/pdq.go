@@ -28,6 +28,11 @@ type Scheduler struct {
 	MaxList int
 	// NoEarlyTermination disables ET for ablations.
 	NoEarlyTermination bool
+
+	// per-tick scratch, reused across Rates calls
+	flows []*sim.Flow
+	res   *sched.Residual
+	rates sim.RateMap
 }
 
 // New returns the paper's PDQ baseline (with Early Termination, unlimited
@@ -45,7 +50,8 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 
 // Rates implements sim.Scheduler.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	flows := st.ActiveFlows()
+	flows := st.AppendActiveFlows(s.flows[:0])
+	s.flows = flows[:0]
 	sched.SortFlows(flows, sched.EDFSJFLess)
 	now := st.Now()
 
@@ -90,7 +96,12 @@ func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
 		}
 	}
 
-	rates := sched.ExclusiveGreedy(st.Graph(), eligible)
+	if s.res == nil {
+		s.res = sched.NewResidual(st.Graph())
+		s.rates = make(sim.RateMap, len(eligible))
+	}
+	clear(s.rates)
+	rates := sched.ExclusiveGreedyInto(s.res, eligible, s.rates)
 
 	// Horizon: a paused flow must be re-examined (and early-terminated)
 	// the instant its slack runs out.

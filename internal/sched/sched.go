@@ -2,10 +2,17 @@
 // of the paper's evaluation: priority comparators (EDF, SJF), exclusive
 // line-rate greedy allocation (the "at most one flow per link" discipline
 // of PDQ/Baraat/TAPS), and max-min fair progressive filling.
+//
+// The allocation passes run at every simulation event instant, so the
+// building blocks come in two forms: convenience functions that allocate
+// their working state per call (NewResidual + ExclusiveGreedy, MaxMinFair)
+// and reusable arenas (Residual held across calls, FairAllocator) whose
+// scratch is dense-indexed by the topology's link IDs and reused tick after
+// tick. Both forms produce bit-identical allocations.
 package sched
 
 import (
-	"sort"
+	"slices"
 
 	"taps/internal/sim"
 	"taps/internal/topology"
@@ -40,9 +47,17 @@ func EDFLess(a, b *sim.Flow) bool {
 	return a.ID < b.ID
 }
 
-// SortFlows sorts flows in place by the given comparator.
+// SortFlows sorts flows in place by the given comparator (stable).
 func SortFlows(flows []*sim.Flow, less func(a, b *sim.Flow) bool) {
-	sort.SliceStable(flows, func(i, j int) bool { return less(flows[i], flows[j]) })
+	slices.SortStableFunc(flows, func(a, b *sim.Flow) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		}
+		return 0
+	})
 }
 
 // DeadlineRate returns the rate (bytes/second) that delivers `remaining`
@@ -60,15 +75,27 @@ func DeadlineRate(remaining float64, ttd int64) float64 {
 }
 
 // Residual tracks the uncommitted capacity of every link during an
-// allocation pass. The zero value is unusable; use NewResidual.
+// allocation pass. Usage is dense-indexed by LinkID and reset in time
+// proportional to the links actually touched, so one Residual can be held
+// by a scheduler and reused every tick (call Reset between passes). The
+// zero value is unusable; use NewResidual.
 type Residual struct {
-	g    *topology.Graph
-	used map[topology.LinkID]float64
+	g       *topology.Graph
+	used    []float64
+	touched []topology.LinkID
 }
 
 // NewResidual returns a tracker with all links fully free.
 func NewResidual(g *topology.Graph) *Residual {
-	return &Residual{g: g, used: make(map[topology.LinkID]float64)}
+	return &Residual{g: g, used: make([]float64, g.NumLinks())}
+}
+
+// Reset frees all committed capacity, readying the tracker for a new pass.
+func (r *Residual) Reset() {
+	for _, l := range r.touched {
+		r.used[l] = 0
+	}
+	r.touched = r.touched[:0]
 }
 
 // Along returns the smallest residual capacity along the path
@@ -102,7 +129,13 @@ func (r *Residual) Free(p topology.Path) bool {
 
 // Commit reserves rate on every link of the path.
 func (r *Residual) Commit(p topology.Path, rate float64) {
+	if rate <= 0 {
+		return
+	}
 	for _, l := range p {
+		if r.used[l] == 0 {
+			r.touched = append(r.touched, l)
+		}
 		r.used[l] += rate
 	}
 }
@@ -114,8 +147,19 @@ func (r *Residual) Commit(p topology.Path, rate float64) {
 // TAPS (§IV-A): a flow transmits only when it is the most critical flow on
 // every link of its path.
 func ExclusiveGreedy(g *topology.Graph, ordered []*sim.Flow) sim.RateMap {
-	res := NewResidual(g)
-	rates := make(sim.RateMap, len(ordered))
+	return ExclusiveGreedyInto(NewResidual(g), ordered, make(sim.RateMap, len(ordered)))
+}
+
+// ExclusiveGreedyInto is ExclusiveGreedy against caller-owned state: res is
+// reset and reused, and the grants are written into rates (allocated when
+// nil). Schedulers that allocate every tick keep a Residual and a RateMap
+// across calls and pay nothing but the map clear.
+func ExclusiveGreedyInto(res *Residual, ordered []*sim.Flow, rates sim.RateMap) sim.RateMap {
+	res.Reset()
+	if rates == nil {
+		rates = make(sim.RateMap, len(ordered))
+	}
+	g := res.g
 	for _, f := range ordered {
 		if len(f.Path) == 0 {
 			continue
@@ -129,41 +173,92 @@ func ExclusiveGreedy(g *topology.Graph, ordered []*sim.Flow) sim.RateMap {
 	return rates
 }
 
+// FairAllocator is the reusable arena for progressive filling: per-link
+// remaining capacity and flow lists are dense slices indexed by LinkID,
+// grown once to the topology size and reset per pass in time proportional
+// to the links actually crossed. One allocator serves one scheduler; calls
+// are not safe for concurrent use.
+type FairAllocator struct {
+	remainingCap []float64
+	flowsOn      [][]int32 // per link: indices into the flows argument
+	links        []topology.LinkID
+	frozen       []bool
+}
+
 // MaxMinFair computes the max-min fair allocation (progressive filling) for
 // the flows over their paths: repeatedly find the most loaded bottleneck
 // link, give its flows an equal share, freeze them, and continue.
 func MaxMinFair(g *topology.Graph, flows []*sim.Flow) sim.RateMap {
-	rates := make(sim.RateMap, len(flows))
-	// flowsOn[l] = unfrozen flows crossing link l.
-	flowsOn := make(map[topology.LinkID][]*sim.Flow)
-	remainingCap := make(map[topology.LinkID]float64)
-	unfrozen := make(map[sim.FlowID]*sim.Flow, len(flows))
-	for _, f := range flows {
+	var a FairAllocator
+	return a.MaxMinFair(g, flows, nil)
+}
+
+// MaxMinFair is the arena form: grants are written into rates (allocated
+// when nil) and the scratch is reused across calls.
+func (a *FairAllocator) MaxMinFair(g *topology.Graph, flows []*sim.Flow, rates sim.RateMap) sim.RateMap {
+	return a.run(g, flows, nil, rates)
+}
+
+// WeightedMaxMin is progressive filling where flow i receives weights[i]
+// shares of each bottleneck (weights aligned by index with flows). A nil
+// weights slice means all-ones, i.e. plain max-min fairness.
+func (a *FairAllocator) WeightedMaxMin(g *topology.Graph, flows []*sim.Flow, weights []float64, rates sim.RateMap) sim.RateMap {
+	return a.run(g, flows, weights, rates)
+}
+
+func (a *FairAllocator) run(g *topology.Graph, flows []*sim.Flow, weights []float64, rates sim.RateMap) sim.RateMap {
+	if rates == nil {
+		rates = make(sim.RateMap, len(flows))
+	}
+	if n := g.NumLinks(); len(a.remainingCap) < n {
+		a.remainingCap = make([]float64, n)
+		a.flowsOn = make([][]int32, n)
+	}
+	a.links = a.links[:0]
+	if cap(a.frozen) < len(flows) {
+		a.frozen = make([]bool, len(flows))
+	}
+	a.frozen = a.frozen[:len(flows)]
+	weightOf := func(i int32) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+
+	unfrozen := 0
+	for i, f := range flows {
 		if len(f.Path) == 0 {
+			a.frozen[i] = true
 			continue
 		}
-		unfrozen[f.ID] = f
+		a.frozen[i] = false
+		unfrozen++
 		for _, l := range f.Path {
-			flowsOn[l] = append(flowsOn[l], f)
-			remainingCap[l] = g.Link(l).Capacity
+			if len(a.flowsOn[l]) == 0 {
+				a.links = append(a.links, l)
+				a.remainingCap[l] = g.Link(l).Capacity
+			}
+			a.flowsOn[l] = append(a.flowsOn[l], int32(i))
 		}
 	}
-	for len(unfrozen) > 0 {
-		// Find the bottleneck link: smallest fair share.
+	for unfrozen > 0 {
+		// Find the bottleneck link: smallest fair share per weight unit,
+		// ties broken by lowest link ID.
 		var bottleneck topology.LinkID
 		share := -1.0
 		found := false
-		for l, fs := range flowsOn {
-			n := 0
-			for _, f := range fs {
-				if _, ok := unfrozen[f.ID]; ok {
-					n++
+		for _, l := range a.links {
+			var w float64
+			for _, fi := range a.flowsOn[l] {
+				if !a.frozen[fi] {
+					w += weightOf(fi)
 				}
 			}
-			if n == 0 {
+			if w == 0 {
 				continue
 			}
-			s := remainingCap[l] / float64(n)
+			s := a.remainingCap[l] / w
 			if !found || s < share || (s == share && l < bottleneck) {
 				bottleneck, share, found = l, s, true
 			}
@@ -171,20 +266,26 @@ func MaxMinFair(g *topology.Graph, flows []*sim.Flow) sim.RateMap {
 		if !found {
 			break
 		}
-		// Freeze every unfrozen flow on the bottleneck at the share.
-		for _, f := range flowsOn[bottleneck] {
-			if _, ok := unfrozen[f.ID]; !ok {
+		// Freeze every unfrozen flow on the bottleneck at its share.
+		for _, fi := range a.flowsOn[bottleneck] {
+			if a.frozen[fi] {
 				continue
 			}
-			rates[f.ID] = share
-			delete(unfrozen, f.ID)
+			f := flows[fi]
+			r := share * weightOf(fi)
+			rates[f.ID] = r
+			a.frozen[fi] = true
+			unfrozen--
 			for _, l := range f.Path {
-				remainingCap[l] -= share
-				if remainingCap[l] < 0 {
-					remainingCap[l] = 0
+				a.remainingCap[l] -= r
+				if a.remainingCap[l] < 0 {
+					a.remainingCap[l] = 0
 				}
 			}
 		}
+	}
+	for _, l := range a.links {
+		a.flowsOn[l] = a.flowsOn[l][:0]
 	}
 	return rates
 }

@@ -115,11 +115,9 @@ func (s *Scheduler) release(f *sim.Flow) {
 }
 
 // Rates implements sim.Scheduler: every admitted flow transmits at its
-// reserved rate.
+// reserved rate. The reservation map itself is returned — the engine only
+// reads it until the next event hook runs, and every mutation happens in
+// hooks that precede the next Rates call.
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
-	rates := make(sim.RateMap, len(s.rate))
-	for id, r := range s.rate {
-		rates[id] = r
-	}
-	return rates, simtime.Infinity
+	return s.rate, simtime.Infinity
 }

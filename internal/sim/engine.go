@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"taps/internal/obs"
@@ -20,7 +22,9 @@ type RateMap map[FlowID]float64
 // plus a horizon: the earliest future instant at which the allocation must
 // be recomputed even if no flow completes, arrives, or expires
 // (simtime.Infinity when there is none). TAPS uses the horizon to follow
-// pre-allocated time-slice boundaries.
+// pre-allocated time-slice boundaries. The engine only reads the returned
+// RateMap until the next Rates call, so a scheduler may clear and reuse
+// one map across calls instead of allocating per tick.
 //
 // OnLinkDown fires after an injected link failure (Config.LinkFailures).
 // By the time it runs, the engine has already moved affected flows onto
@@ -134,12 +138,20 @@ func (st *State) Task(id TaskID) *Task { return st.tasks[id] }
 // ActiveFlows returns the active flows sorted by ID. The slice is fresh on
 // every call; the *Flow values are shared with the engine.
 func (st *State) ActiveFlows() []*Flow {
-	out := make([]*Flow, 0, len(st.active))
+	return st.AppendActiveFlows(make([]*Flow, 0, len(st.active)))
+}
+
+// AppendActiveFlows appends the active flows, sorted by ID, to dst and
+// returns the extended slice. Schedulers that run on every event instant
+// pass a buffer they keep across calls (truncated to [:0]) so the per-tick
+// snapshot costs no allocation once the buffer has grown to fleet size.
+func (st *State) AppendActiveFlows(dst []*Flow) []*Flow {
+	n := len(dst)
 	for _, f := range st.active {
-		out = append(out, f)
+		dst = append(dst, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	slices.SortFunc(dst[n:], func(a, b *Flow) int { return cmp.Compare(a.ID, b.ID) })
+	return dst
 }
 
 // NumActive returns the number of active flows.
@@ -262,6 +274,7 @@ type Engine struct {
 	events   int
 	segments map[FlowID][]Segment
 	linkLoad map[topology.LinkID]float64 // scratch for obs utilization sampling
+	flowBuf  []*Flow                     // scratch for per-event flow collections
 }
 
 // New builds an engine over the graph/routing for the given task specs.
@@ -442,14 +455,15 @@ func (e *Engine) admitArrivals() {
 // active flow has passed its deadline.
 func (e *Engine) fireDeadlines() {
 	st := e.st
-	var expired []*Flow
+	expired := e.flowBuf[:0]
 	for _, f := range st.active {
 		if !f.deadlineNotified && f.Deadline <= st.now {
 			f.deadlineNotified = true
 			expired = append(expired, f)
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i].ID < expired[j].ID })
+	slices.SortFunc(expired, func(a, b *Flow) int { return cmp.Compare(a.ID, b.ID) })
+	e.flowBuf = expired[:0]
 	for _, f := range expired {
 		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindDeadlineMissed,
 			Task: int64(f.Task), Flow: int64(f.ID)})
@@ -553,13 +567,14 @@ func (e *Engine) recordSegment(id FlowID, iv simtime.Interval, rate float64) {
 // completeFinished retires flows whose remaining bytes reached zero.
 func (e *Engine) completeFinished() {
 	st := e.st
-	var done []*Flow
+	done := e.flowBuf[:0]
 	for _, f := range st.active {
 		if f.remaining <= 1e-9 {
 			done = append(done, f)
 		}
 	}
-	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	slices.SortFunc(done, func(a, b *Flow) int { return cmp.Compare(a.ID, b.ID) })
+	e.flowBuf = done[:0]
 	for _, f := range done {
 		f.remaining = 0
 		f.State = FlowDone

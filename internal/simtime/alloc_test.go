@@ -1,0 +1,81 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The planner's steady-state loop runs merge/complement/take once per
+// candidate path with warm per-planner scratch buffers. These tests pin the
+// allocation contract: with warm scratch, the Into operations allocate
+// nothing at all.
+
+func allocSet(rng *rand.Rand, n int) IntervalSet {
+	var s IntervalSet
+	for i := 0; i < n; i++ {
+		start := Time(rng.Intn(100_000))
+		s.Add(Interval{start, start + Time(1+rng.Intn(300))})
+	}
+	return s
+}
+
+func TestMergeIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sets := []IntervalSet{allocSet(rng, 64), allocSet(rng, 64), allocSet(rng, 64), allocSet(rng, 64)}
+	var dst IntervalSet
+	MergeInto(&dst, sets...) // warm the scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		MergeInto(&dst, sets...)
+	}); avg != 0 {
+		t.Fatalf("MergeInto allocates %.1f/op with warm scratch, want 0", avg)
+	}
+}
+
+func TestComplementWithinIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := allocSet(rng, 128)
+	w := Interval{0, 200_000}
+	var dst IntervalSet
+	s.ComplementWithinInto(w, &dst)
+	if avg := testing.AllocsPerRun(100, func() {
+		s.ComplementWithinInto(w, &dst)
+	}); avg != 0 {
+		t.Fatalf("ComplementWithinInto allocates %.1f/op with warm scratch, want 0", avg)
+	}
+}
+
+func TestTakeFirstIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := allocSet(rng, 128).ComplementWithin(Interval{0, 200_000})
+	var dst IntervalSet
+	s.TakeFirstInto(50, 10_000, &dst)
+	if avg := testing.AllocsPerRun(100, func() {
+		s.TakeFirstInto(50, 10_000, &dst)
+	}); avg != 0 {
+		t.Fatalf("TakeFirstInto allocates %.1f/op with warm scratch, want 0", avg)
+	}
+}
+
+func TestGCBeforeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := allocSet(rng, 256)
+	if avg := testing.AllocsPerRun(100, func() {
+		s.GCBefore(50_000)
+	}); avg != 0 {
+		t.Fatalf("GCBefore allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestAddInPlace pins that Add no longer allocates a fresh slice per insert:
+// inserting into a set whose backing array already has room is free.
+func TestAddInPlace(t *testing.T) {
+	var s IntervalSet
+	for i := 0; i < 512; i++ {
+		s.Add(Interval{Time(i) * 10, Time(i)*10 + 4}) // pre-grow the backing array
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		s.Add(Interval{1, 3}) // merges into an existing run, no growth
+	}); avg != 0 {
+		t.Fatalf("Add allocates %.1f/op on a warm set, want 0", avg)
+	}
+}

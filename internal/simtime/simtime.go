@@ -114,41 +114,74 @@ func (s IntervalSet) Total() Time {
 	return t
 }
 
-// Contains reports whether instant t is in the set.
-func (s IntervalSet) Contains(t Time) bool {
-	// Binary search for the first interval with End > t.
+// firstEndAbove returns the index of the first interval with End > t, or
+// len(s.ivs) if none exists. All preceding intervals lie entirely at or
+// before t.
+func (s IntervalSet) firstEndAbove(t Time) int {
 	lo, hi := 0, len(s.ivs)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if s.ivs[mid].End <= t {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo < len(s.ivs) && s.ivs[lo].Contains(t)
+	return lo
+}
+
+// Contains reports whether instant t is in the set.
+func (s IntervalSet) Contains(t Time) bool {
+	i := s.firstEndAbove(t)
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
 }
 
 // Add inserts the interval into the set, merging with neighbours.
 // Empty intervals are ignored. Adjacent intervals are coalesced.
+//
+// Both the insertion window and the splice are allocation-free (beyond
+// amortized growth of the backing array): the window is located by binary
+// search and existing intervals are shifted in place.
 func (s *IntervalSet) Add(iv Interval) {
 	if iv.Empty() {
 		return
 	}
-	// Find insertion window: all intervals that overlap or touch iv.
-	lo := 0
-	for lo < len(s.ivs) && s.ivs[lo].End < iv.Start {
-		lo++
+	n := len(s.ivs)
+	// Insertion window [lo, hi): all intervals that overlap or touch iv.
+	// lo is the first interval with End >= iv.Start, hi the first with
+	// Start > iv.End.
+	lo, h := 0, n
+	for lo < h {
+		mid := int(uint(lo+h) >> 1)
+		if s.ivs[mid].End < iv.Start {
+			lo = mid + 1
+		} else {
+			h = mid
+		}
 	}
-	hi := lo
-	for hi < len(s.ivs) && s.ivs[hi].Start <= iv.End {
-		hi++
+	hi, h2 := lo, n
+	for hi < h2 {
+		mid := int(uint(hi+h2) >> 1)
+		if s.ivs[mid].Start <= iv.End {
+			hi = mid + 1
+		} else {
+			h2 = mid
+		}
 	}
 	if lo < hi {
 		iv.Start = min(iv.Start, s.ivs[lo].Start)
 		iv.End = max(iv.End, s.ivs[hi-1].End)
 	}
-	s.ivs = append(s.ivs[:lo], append([]Interval{iv}, s.ivs[hi:]...)...)
+	if lo == hi {
+		// Pure insertion at lo: grow by one and shift the tail right.
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[lo+1:], s.ivs[lo:n])
+		s.ivs[lo] = iv
+		return
+	}
+	// Replace [lo, hi) with the merged interval and shift the tail left.
+	s.ivs[lo] = iv
+	s.ivs = s.ivs[:lo+1+copy(s.ivs[lo+1:], s.ivs[hi:])]
 }
 
 // Remove deletes the interval's instants from the set.
@@ -174,11 +207,59 @@ func (s *IntervalSet) Remove(iv Interval) {
 
 // Union returns the union of the two sets.
 func Union(a, b IntervalSet) IntervalSet {
-	out := a.Clone()
-	for _, iv := range b.ivs {
-		out.Add(iv)
-	}
+	var out IntervalSet
+	MergeInto(&out, a, b)
 	return out
+}
+
+// MergeInto replaces dst's contents with the union of the given sets,
+// produced in one linear pass. dst's backing storage is reused, so a warm
+// caller-owned scratch set makes the operation allocation-free — this is
+// the k-way union the planner runs once per candidate path (Alg. 3's Tocp,
+// the union of the path's per-link occupancies).
+//
+// dst must not alias any element of sets. Passing a pre-built slice as
+// `sets...` avoids the variadic allocation.
+func MergeInto(dst *IntervalSet, sets ...IntervalSet) {
+	dst.ivs = dst.ivs[:0]
+	// Per-set cursors; planner paths have at most a handful of links, so
+	// the cursor array lives on the stack for the common case.
+	var cursBuf [12]int
+	var curs []int
+	if len(sets) <= len(cursBuf) {
+		curs = cursBuf[:len(sets)]
+		for i := range curs {
+			curs[i] = 0
+		}
+	} else {
+		curs = make([]int, len(sets))
+	}
+	for {
+		// Pick the set whose next interval starts earliest.
+		best := -1
+		var bestStart Time
+		for i := range sets {
+			if curs[i] >= len(sets[i].ivs) {
+				continue
+			}
+			if st := sets[i].ivs[curs[i]].Start; best < 0 || st < bestStart {
+				best, bestStart = i, st
+			}
+		}
+		if best < 0 {
+			return
+		}
+		iv := sets[best].ivs[curs[best]]
+		curs[best]++
+		if n := len(dst.ivs); n > 0 && dst.ivs[n-1].End >= iv.Start {
+			// Overlaps or touches the tail: coalesce.
+			if iv.End > dst.ivs[n-1].End {
+				dst.ivs[n-1].End = iv.End
+			}
+		} else {
+			dst.ivs = append(dst.ivs, iv)
+		}
+	}
 }
 
 // UnionInPlace adds every interval of b into s.
@@ -211,29 +292,33 @@ func Intersect(a, b IntervalSet) IntervalSet {
 // Alg. 3: the complement of the occupied union is the idle time.
 func (s IntervalSet) ComplementWithin(window Interval) IntervalSet {
 	var out IntervalSet
+	s.ComplementWithinInto(window, &out)
+	return out
+}
+
+// ComplementWithinInto is ComplementWithin into a caller-owned scratch set:
+// dst's previous contents are discarded and its backing storage reused, so
+// a warm dst makes the operation allocation-free. dst must not alias s.
+func (s IntervalSet) ComplementWithinInto(window Interval, dst *IntervalSet) {
+	dst.ivs = dst.ivs[:0]
 	if window.Empty() {
-		return out
+		return
 	}
 	cursor := window.Start
-	for _, iv := range s.ivs {
-		if iv.End <= cursor {
-			continue
-		}
+	for i := s.firstEndAbove(cursor); i < len(s.ivs); i++ {
+		iv := s.ivs[i]
 		if iv.Start >= window.End {
 			break
 		}
 		if iv.Start > cursor {
-			out.ivs = append(out.ivs, Interval{cursor, min(iv.Start, window.End)})
+			dst.ivs = append(dst.ivs, Interval{cursor, min(iv.Start, window.End)})
 		}
 		cursor = max(cursor, iv.End)
 		if cursor >= window.End {
-			break
+			return
 		}
 	}
-	if cursor < window.End {
-		out.ivs = append(out.ivs, Interval{cursor, window.End})
-	}
-	return out
+	dst.ivs = append(dst.ivs, Interval{cursor, window.End})
 }
 
 // TakeFirst returns, as a new set, the earliest `units` microseconds of s at
@@ -244,39 +329,40 @@ func (s IntervalSet) ComplementWithin(window Interval) IntervalSet {
 //
 // This is the "first E idle time slices" step of Alg. 3.
 func (s IntervalSet) TakeFirst(from Time, units Time) (taken IntervalSet, finish Time, ok bool) {
+	finish, ok = s.TakeFirstInto(from, units, &taken)
+	return taken, finish, ok
+}
+
+// TakeFirstInto is TakeFirst into a caller-owned scratch set: dst's previous
+// contents are discarded and its backing storage reused, so a warm dst makes
+// the operation allocation-free. dst must not alias s. The prefix of
+// intervals entirely before `from` is skipped by binary search.
+func (s IntervalSet) TakeFirstInto(from Time, units Time, dst *IntervalSet) (finish Time, ok bool) {
+	dst.ivs = dst.ivs[:0]
 	if units <= 0 {
-		return IntervalSet{}, from, true
+		return from, true
 	}
 	remaining := units
 	finish = from
-	for _, iv := range s.ivs {
-		if iv.End <= from {
-			continue
-		}
+	for i := s.firstEndAbove(from); i < len(s.ivs); i++ {
+		iv := s.ivs[i]
 		start := max(iv.Start, from)
-		length := iv.End - start
-		if length <= 0 {
-			continue
-		}
-		take := min(length, remaining)
-		taken.ivs = append(taken.ivs, Interval{start, start + take})
+		take := min(iv.End-start, remaining)
+		dst.ivs = append(dst.ivs, Interval{start, start + take})
 		remaining -= take
 		finish = start + take
 		if remaining == 0 {
-			return taken, finish, true
+			return finish, true
 		}
 	}
-	return taken, finish, false
+	return finish, false
 }
 
 // NextInstantIn returns the earliest instant >= from contained in the set,
 // or (Infinity, false) if there is none.
 func (s IntervalSet) NextInstantIn(from Time) (Time, bool) {
-	for _, iv := range s.ivs {
-		if iv.End <= from {
-			continue
-		}
-		return max(iv.Start, from), true
+	if i := s.firstEndAbove(from); i < len(s.ivs) {
+		return max(s.ivs[i].Start, from), true
 	}
 	return Infinity, false
 }
@@ -285,21 +371,28 @@ func (s IntervalSet) NextInstantIn(from Time) (Time, bool) {
 // strictly greater than t, or Infinity if none exists. The simulator uses it
 // to find the next instant a plan-following rate changes.
 func (s IntervalSet) NextBoundaryAfter(t Time) Time {
-	for _, iv := range s.ivs {
-		if iv.Start > t {
-			return iv.Start
-		}
-		if iv.End > t {
-			return iv.End
-		}
+	i := s.firstEndAbove(t)
+	if i == len(s.ivs) {
+		return Infinity
 	}
-	return Infinity
+	// Every earlier interval has both boundaries <= t; this one has End > t.
+	if s.ivs[i].Start > t {
+		return s.ivs[i].Start
+	}
+	return s.ivs[i].End
 }
 
 // GCBefore removes all instants strictly before t. Planners call this to
-// drop occupancy records that can no longer influence allocation.
+// drop occupancy records that can no longer influence allocation. The trim
+// happens in place, without allocating.
 func (s *IntervalSet) GCBefore(t Time) {
-	s.Remove(Interval{Start: math.MinInt64 / 4, End: t})
+	i := s.firstEndAbove(t)
+	if i > 0 {
+		s.ivs = s.ivs[:copy(s.ivs, s.ivs[i:])]
+	}
+	if len(s.ivs) > 0 && s.ivs[0].Start < t {
+		s.ivs[0].Start = t
+	}
 }
 
 // Valid reports whether the internal representation invariants hold:
