@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json
+.PHONY: check fmt vet build test race lint bench bench-json
 
-# check is the full CI gate: formatting, vet, build, tests with the race
-# detector. CI (.github/workflows/ci.yml) runs exactly this target.
-check: fmt vet build race
+# check is the full CI gate: formatting, vet, build, lint, tests with the
+# race detector. CI (.github/workflows/ci.yml) runs exactly this target.
+check: fmt vet build lint race
 
 fmt:
-	@out="$$(gofmt -l .)"; \
+	@out="$$(gofmt -s -l .)"; \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own determinism/simulated-time analyzers (see
+# DESIGN.md §8). Prints every finding across all packages, exits non-zero
+# on any; a clean run prints nothing.
+lint:
+	$(GO) run ./cmd/tapslint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,82 @@
+// Command tapslint runs the repository's determinism and simulated-time
+// lint pass (internal/lint) over module packages.
+//
+//	tapslint [-list] [packages...]
+//
+// Packages are directory patterns relative to the working directory
+// (./internal/core, ./..., ./internal/...); the default is ./... from the
+// module root, which — like the go tool — skips testdata directories, so
+// the deliberate-violation fixtures under internal/lint/testdata only load
+// when named explicitly.
+//
+// Diagnostics are printed for every package before exiting (no fail-fast):
+// one clean run shows everything there is to fix. Exit status: 0 with no
+// output when the tree is clean, 1 when any diagnostic was reported, 2
+// when packages failed to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"taps/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tapslint [-list] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapslint:", err)
+		os.Exit(2)
+	}
+
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			loadFailed = true
+			fmt.Fprintf(os.Stderr, "tapslint: %s: %v\n", pkg.Path, e)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		os.Exit(1)
+	}
+}

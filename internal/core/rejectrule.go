@@ -52,6 +52,7 @@ func EvaluateRejectRule[T comparable](missed map[T]bool, newTask T, fraction fun
 	// Rule 3: exactly one other task misses; the lower completion
 	// fraction loses (ties keep the incumbent).
 	var victim T
+	//taps:allow maporder missed holds exactly one key here (len checks above), so iteration order cannot matter
 	for t := range missed {
 		victim = t
 	}

@@ -225,7 +225,7 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
 	var t0 time.Time
 	var p0 int64
 	if s.obs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //taps:allow wallclock obs-only planner latency; never feeds simulated time
 		p0 = s.planner.PathsTried()
 	}
 	occ := make(map[topology.LinkID]simtime.IntervalSet)
@@ -237,7 +237,7 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
 			Task:       obs.NoTask,
 			Flows:      int32(len(flows)),
 			PathsTried: s.planner.PathsTried() - p0,
-			Duration:   time.Since(t0),
+			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 		})
 	}
 	a := &allocation{
@@ -357,7 +357,7 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 	var t0 time.Time
 	var p0 int64
 	if s.obs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //taps:allow wallclock obs-only planner latency; never feeds simulated time
 		p0 = s.planner.PathsTried()
 	}
 	// Copy-on-write: the pass reads s.occ directly and clones only the
@@ -377,7 +377,7 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 			Task:       int64(task.ID),
 			Flows:      int32(len(flows)),
 			PathsTried: s.planner.PathsTried() - p0,
-			Duration:   time.Since(t0),
+			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 		})
 	}
 	now := st.Now()

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the package-level math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...), which draw from the process-global,
+// self-seeding source: two runs of the same sweep would see different
+// workloads and the Fig. 6/7 curves would stop being reproducible.
+// Randomness must come from a seeded *rand.Rand (rand.New(rand.NewSource
+// (seed))) carried through the workload generators. Constructors and
+// types (rand.New, rand.NewSource, rand.NewZipf, rand.Rand, rand.Source)
+// remain legal, and test files are never linted.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no package-level math/rand calls outside tests; draw from a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do not
+// touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := p.pkgNameOf(sel.X)
+			if pn == nil {
+				return true
+			}
+			if path := pn.Imported().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // a type or variable, not a callable
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"package-level rand.%s draws from the global, run-dependent source; use a seeded *rand.Rand so sweeps stay reproducible",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. taps/internal/core
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds type-check errors. The package is still analyzed on a
+	// best-effort basis, but the driver treats any Errs as a hard failure.
+	Errs []error
+}
+
+// Loader discovers, parses, and type-checks packages of the enclosing Go
+// module without shelling out to the go tool or depending on x/tools:
+// module-internal imports are resolved recursively by the Loader itself,
+// everything else (the standard library) through go/importer's source
+// importer, which type-checks GOROOT/src directly. cgo is disabled so
+// packages like net fall back to their pure-Go implementations, which is
+// all the type checker needs.
+//
+// Test files (_test.go) are never loaded: the invariants tapslint guards
+// are about production planning/simulation code, and tests are where
+// wall-clock waits and ad-hoc randomness are legitimate.
+type Loader struct {
+	ModRoot string // absolute path of the module root (dir of go.mod)
+	ModPath string // module path from go.mod
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path; nil entry = in progress
+}
+
+// NewLoader locates the enclosing module starting from dir ("" = cwd).
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modpath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer resolves stdlib packages through go/build; with
+	// cgo off, build tags select the pure-Go files everywhere, which is
+	// sufficient for type checking and avoids needing a C toolchain.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModRoot: root,
+		ModPath: modpath,
+		fset:    fset,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// findModule walks upward from dir to the nearest go.mod.
+func findModule(dir string) (root, modpath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.Trim(strings.TrimSpace(rest), `"`), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// Load expands the given package patterns (Go-style: a directory like
+// ./internal/core, or a tree like ./... and ./internal/...) and returns the
+// matched packages, parsed and type-checked, sorted by import path.
+//
+// Tree expansion skips testdata, vendor, hidden, and underscore-prefixed
+// directories, mirroring the go tool — the lint fixtures under testdata/
+// contain deliberate violations and are only loaded when named explicitly.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(abs+string(filepath.Separator), l.ModRoot+string(filepath.Separator)) {
+			return nil, fmt.Errorf("lint: pattern %q lies outside module root %s", pat, l.ModRoot)
+		}
+		if !recursive {
+			if hasGoFiles(abs) {
+				add(abs)
+				continue
+			}
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor converts an absolute directory under the module root to its
+// import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// inProgress marks a package currently being type-checked (cycle guard).
+var inProgress = &Package{}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPackage(path, dir)
+}
+
+func (l *Loader) loadPackage(path, dir string) (*Package, error) {
+	switch pkg := l.pkgs[path]; {
+	case pkg == inProgress:
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	case pkg != nil:
+		return pkg, nil
+	}
+	l.pkgs[path] = inProgress
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		// Collect every error and keep checking: the driver reports them
+		// all at once instead of stopping at the first broken package.
+		Error: func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info) // errors already in pkg.Errs
+	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the Loader (recursively), everything else through the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.loadPackage(path, filepath.Join(l.ModRoot, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.Errs) > 0 {
+			return pkg.Types, fmt.Errorf("lint: %s has type errors: %v", path, pkg.Errs[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,28 @@
+// Package globalrand is a tapslint fixture: package-level math/rand calls
+// that draw from the process-global source.
+package globalrand
+
+import "math/rand"
+
+// bad draws from the global, run-dependent source.
+func bad() int {
+	x := rand.Intn(10)                 // want "package-level rand.Intn"
+	_ = rand.Float64()                 // want "package-level rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "package-level rand.Shuffle"
+	return x
+}
+
+// seeded is the required idiom: constructors and methods on a seeded
+// *rand.Rand are legal.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// typeUse references math/rand types only — legal.
+func typeUse(r *rand.Rand, s rand.Source) *rand.Rand { _ = s; return r }
+
+// suppressed carries a directive with a rationale.
+func suppressed() int {
+	return rand.Int() //taps:allow globalrand fixture: annotated site
+}

@@ -1,0 +1,32 @@
+// Package wallclock is a tapslint fixture: wall-clock reads and waits in
+// simulated-time code. Lines carry want-comment expectations for the
+// golden-diagnostic harness; the package is never built by the go tool.
+package wallclock
+
+import "time"
+
+// bad reads and waits on the real clock — every site is a violation.
+func bad() time.Time {
+	t0 := time.Now()             // want "wall-clock time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+	_ = time.Since(t0)           // want "wall-clock time.Since"
+	return t0
+}
+
+// allowed is an annotated observability site: the trailing directive
+// suppresses the finding (comma form exercises the multi-check grammar).
+func allowed() time.Duration {
+	t0 := time.Now()      //taps:allow wallclock,maporder fixture: annotated observability site
+	return time.Since(t0) //taps:allow wallclock fixture: annotated observability site
+}
+
+// allowedAbove exercises the directive-on-the-preceding-line form.
+func allowedAbove() time.Time {
+	//taps:allow wallclock fixture: directive on the line above
+	return time.Now()
+}
+
+// legal uses time types, constants and arithmetic — never the clock.
+func legal(d time.Duration) time.Duration {
+	return d + 3*time.Microsecond
+}

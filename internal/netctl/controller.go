@@ -96,7 +96,7 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 		graph:     g,
 		routing:   r,
 		planner:   &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths},
-		epoch:     time.Now(),
+		epoch:     time.Now(), //taps:allow wallclock real controller: the virtual clock is anchored to a wall-clock epoch
 		obs:       obs.NewRecorder(obs.Options{}),
 		agents:    make(map[*codec]HelloMsg),
 		flows:     make(map[uint64]*ctlFlow),
@@ -114,7 +114,7 @@ func (c *Controller) Recorder() *obs.Recorder { return c.obs }
 
 // now is the current virtual time.
 func (c *Controller) now() simtime.Time {
-	return simtime.Time(float64(time.Since(c.epoch).Microseconds()) * c.cfg.Speedup)
+	return simtime.Time(float64(time.Since(c.epoch).Microseconds()) * c.cfg.Speedup) //taps:allow wallclock real controller: virtual time is scaled wall time by design
 }
 
 // Serve listens on addr ("127.0.0.1:0" for tests) and handles agents until
@@ -317,7 +317,7 @@ func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
 	for i, it := range items {
 		reqs[i] = it.req
 	}
-	t0 := time.Now()
+	t0 := time.Now() //taps:allow wallclock obs-only planner latency; never feeds virtual time
 	p0 := c.planner.PathsTried()
 	entries := c.planner.PlanAll(now, reqs, nil)
 	c.obs.Record(obs.Event{
@@ -326,7 +326,7 @@ func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
 		Task:       obs.NoTask,
 		Flows:      int32(len(reqs)),
 		PathsTried: c.planner.PathsTried() - p0,
-		Duration:   time.Since(t0),
+		Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 	})
 	missed := make(map[int64]bool)
 	for i, e := range entries {

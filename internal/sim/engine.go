@@ -586,10 +586,18 @@ func (e *Engine) completeFinished() {
 
 // validate checks a rate allocation: non-negative rates, only active flows,
 // flows with traffic must have a valid path, and no link is oversubscribed.
+// Flows and links are checked in sorted order so the reported violation is
+// the same on every run.
 func (e *Engine) validate(rates RateMap) error {
 	st := e.st
 	load := make(map[topology.LinkID]float64)
-	for id, r := range rates {
+	ids := make([]FlowID, 0, len(rates))
+	for id := range rates {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		r := rates[id]
 		if r < 0 {
 			return fmt.Errorf("sim: negative rate %g for flow %d", r, id)
 		}
@@ -613,7 +621,13 @@ func (e *Engine) validate(rates RateMap) error {
 			load[l] += r
 		}
 	}
-	for l, total := range load {
+	links := make([]topology.LinkID, 0, len(load))
+	for l := range load {
+		links = append(links, l)
+	}
+	slices.Sort(links)
+	for _, l := range links {
+		total := load[l]
 		capac := st.graph.Link(l).Capacity
 		if total > capac*(1+1e-9)+1e-6 {
 			return fmt.Errorf("sim: link %s oversubscribed: %g > %g",
