@@ -41,6 +41,8 @@ func main() {
 		obsFlag   = flag.Bool("obs", false, "record controller decisions and runtime metrics; print a summary at exit")
 		eventsF   = flag.String("events", "", "stream decision events as JSONL to this file (implies -obs)")
 		verboseF  = flag.Bool("v", false, "stream decision events to stderr as they happen (implies -obs)")
+		traceF    = flag.String("trace", "", "run one TAPS simulation at the scale's §V-A point with causal span tracing and write Chrome trace_event JSON to this file (skips -fig)")
+		whyF      = flag.String("why", "", "run one TAPS simulation at the scale's §V-A point and explain this task's fate (a task ID, or \"rejected\" for the first discarded task; skips -fig)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,34 @@ func main() {
 		for _, s := range schedulers {
 			experiments.NewScheduler(s) // panics early on typos
 		}
+	}
+
+	if *traceF != "" || *whyF != "" {
+		tree, g, err := spanRun(scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *traceF != "" {
+			f, err := os.Create(*traceF)
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeTrace(f, tree, g); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(out, "# trace: %d tasks, %d flows, %d planning passes -> %s\n",
+				len(tree.Tasks), len(tree.Flows), len(tree.Replans), *traceF)
+		}
+		if *whyF != "" {
+			if err := printWhy(out, tree, g, *whyF); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	figs := strings.Split(*figFlag, ",")

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"taps/internal/obs/span"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// spanPlans converts one planning pass's entries into span records: one
+// PlanSpan per flow, capturing the Alg. 2 search (candidates, winning
+// path) and the Alg. 3 grant (slice windows, planned finish). Only called
+// when span recording is enabled, so the copies here never touch the
+// recording-disabled hot path.
+func spanPlans(flows []*sim.Flow, entries []PlanEntry) []span.PlanSpan {
+	plans := make([]span.PlanSpan, len(entries))
+	for i, f := range flows {
+		e := entries[i]
+		ps := span.PlanSpan{
+			Flow: int64(f.ID), Task: int64(f.Task),
+			Candidates: e.Candidates, PathIndex: e.PathIndex,
+			Finish: e.Finish, Deadline: f.Deadline,
+			Missed: e.Finish > f.Deadline,
+		}
+		if e.Path != nil {
+			ps.Path = make([]int32, len(e.Path))
+			for j, l := range e.Path {
+				ps.Path[j] = int32(l)
+			}
+			ps.Slices = append([]simtime.Interval(nil), e.Slices.Intervals()...)
+		}
+		plans[i] = ps
+	}
+	return plans
+}
+
+// attributionLimit caps an attribution chain: only the busiest links (and
+// the busiest holders per link) are named.
+const attributionLimit = 5
+
+// buildAttribution explains why the tentative plan doomed a task: for each
+// missed flow that sealed its fate, the links of the flow's (would-be)
+// path whose occupancy within [now, deadline) left no feasible window, and
+// the surviving tasks holding planned slices there. Normally the missed
+// flows are the task's own; when a newcomer is rejected because admitting
+// it would push an *incumbent* past its deadline (§IV-B's exactly-one-
+// other-task-misses branch, lost on completion fraction), the task has no
+// missed flows itself — the chain is then built from the windows its
+// admission doomed, and the holders still name the survivors. Links and
+// holders are ordered busiest first, ties by ID, capped at
+// attributionLimit each — this is the chain `tapsim -why` prints and the
+// trace export attaches to the terminal instant.
+func (s *Scheduler) buildAttribution(st *sim.State, task sim.TaskID, plan *allocation) []span.LinkBlock {
+	now := st.Now()
+	missed := make([]*sim.Flow, 0, len(plan.missed))
+	for _, mf := range plan.missed {
+		if mf.Task == task {
+			missed = append(missed, mf)
+		}
+	}
+	if len(missed) == 0 {
+		missed = plan.missed
+	}
+	type agg struct {
+		window  simtime.Interval
+		busy    simtime.Time
+		holders map[sim.TaskID]simtime.Time
+	}
+	aggs := make(map[topology.LinkID]*agg)
+	for _, mf := range missed {
+		window := simtime.Interval{Start: now, End: mf.Deadline}
+		if window.Empty() {
+			continue
+		}
+		path := plan.paths[mf.ID]
+		if path == nil && s.planner != nil {
+			// Unroutable in this plan: attribute along the first candidate
+			// path the planner considered for the flow.
+			if cands := s.planner.Routing.Paths(mf.Src, mf.Dst, s.planner.MaxPaths, uint64(mf.ID)); len(cands) > 0 {
+				path = cands[0]
+			}
+		}
+		for _, l := range path {
+			a, ok := aggs[l]
+			if !ok {
+				a = &agg{window: window, holders: make(map[sim.TaskID]simtime.Time)}
+				aggs[l] = a
+			} else if window.End > a.window.End {
+				a.window.End = window.End
+			}
+		}
+	}
+	if len(aggs) == 0 {
+		return nil
+	}
+	// Charge every other task's planned slices on those links.
+	for fid, p := range plan.paths {
+		f := st.Flow(fid)
+		if f == nil || f.Task == task {
+			continue
+		}
+		sl := plan.slices[fid]
+		for _, l := range p {
+			a, ok := aggs[l]
+			if !ok {
+				continue
+			}
+			if ov := sl.OverlapTotal(a.window); ov > 0 {
+				a.busy += ov
+				a.holders[f.Task] += ov
+			}
+		}
+	}
+
+	links := make([]topology.LinkID, 0, len(aggs))
+	for l := range aggs {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		a, b := aggs[links[i]], aggs[links[j]]
+		if a.busy != b.busy {
+			return a.busy > b.busy
+		}
+		return links[i] < links[j]
+	})
+	if len(links) > attributionLimit {
+		links = links[:attributionLimit]
+	}
+	blocks := make([]span.LinkBlock, 0, len(links))
+	for _, l := range links {
+		a := aggs[l]
+		blk := span.LinkBlock{Link: int32(l), Window: a.window, Busy: a.busy}
+		holders := make([]sim.TaskID, 0, len(a.holders))
+		for t := range a.holders {
+			holders = append(holders, t)
+		}
+		sort.Slice(holders, func(i, j int) bool {
+			if a.holders[holders[i]] != a.holders[holders[j]] {
+				return a.holders[holders[i]] > a.holders[holders[j]]
+			}
+			return holders[i] < holders[j]
+		})
+		if len(holders) > attributionLimit {
+			holders = holders[:attributionLimit]
+		}
+		for _, t := range holders {
+			blk.Holders = append(blk.Holders, span.Holder{Task: int64(t), Busy: a.holders[t]})
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"taps/internal/core"
+	"taps/internal/obs/span"
 	"taps/internal/sim"
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -128,6 +129,41 @@ func BenchmarkTAPSFullRun(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				eng := sim.New(g, cr, core.New(cfg), specs, sim.Config{})
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTAPSFullRunSpans is the span-tracing cost pair: the identical
+// simulation with span recording disabled (the default) and enabled. The
+// disabled side must match BenchmarkTAPSFullRun/replan-always — span
+// tracing is free until a recorder is attached (see
+// TestPlannerAllocsUnchangedWithSpansDisabled for the hard pin).
+func BenchmarkTAPSFullRunSpans(b *testing.B) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 3, RacksPerPod: 2, HostsPerRack: 5, LinkCapacity: topology.Gbps(1),
+	})
+	cr := topology.NewCachedRouting(r)
+	specs := workload.Generate(g, workload.Spec{Tasks: 12, MeanFlowsPerTask: 20, Seed: 1})
+	for _, spans := range []bool{false, true} {
+		name := "spans=off"
+		if spans {
+			name = "spans=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sched := core.New(core.DefaultConfig())
+				cfg := sim.Config{}
+				if spans {
+					rec := span.NewRecorder()
+					sched.SetSpanRecorder(rec)
+					cfg.Spans = rec
+				}
+				eng := sim.New(g, cr, sched, specs, cfg)
 				if _, err := eng.Run(); err != nil {
 					b.Fatal(err)
 				}

@@ -21,10 +21,14 @@ type FlowReq struct {
 
 // PlanEntry is the planner's decision for one flow: the chosen path, the
 // pre-allocated transmission slices on it, and the resulting finish time.
+// Candidates and PathIndex describe the Alg. 2 search that produced it
+// (for span tracing); PathIndex is -1 when no candidate fit.
 type PlanEntry struct {
-	Path   topology.Path
-	Slices simtime.IntervalSet
-	Finish simtime.Time
+	Path       topology.Path
+	Slices     simtime.IntervalSet
+	Finish     simtime.Time
+	Candidates int
+	PathIndex  int
 }
 
 // Planner implements Alg. 2 (PathCalculation) and Alg. 3 (TimeAllocation)
@@ -199,12 +203,13 @@ func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []Plan
 // planOne runs Alg. 2 lines 2-14 for a single flow and commits its slices
 // to occ.
 func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView) PlanEntry {
-	best := PlanEntry{Finish: simtime.Infinity}
+	best := PlanEntry{Finish: simtime.Infinity, PathIndex: -1}
 	if r.Src == r.Dst || r.Bytes <= 0 {
 		best.Finish = now
 		return best
 	}
 	paths := p.Routing.Paths(r.Src, r.Dst, p.MaxPaths, r.Key)
+	best.Candidates = len(paths)
 	var winner *evalScratch
 	if p.Workers > 1 && len(paths) > 1 {
 		winner = p.evalCandidatesParallel(now, r, window, occ, paths)
@@ -217,6 +222,7 @@ func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, 
 		return best
 	}
 	best.Path = paths[winner.bestIdx]
+	best.PathIndex = winner.bestIdx
 	best.Finish = winner.bestFinish
 	// The clone is the single allocation the planning of one flow
 	// performs; the copy is retained in the returned plan.

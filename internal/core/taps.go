@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"taps/internal/obs"
+	"taps/internal/obs/span"
 	"taps/internal/sched"
 	"taps/internal/sim"
 	"taps/internal/simtime"
@@ -130,6 +131,13 @@ type Scheduler struct {
 	// obs, when non-nil, records decision events and planner latency.
 	// The nil default keeps the planning path free of timing calls.
 	obs *obs.Recorder
+
+	// spans, when non-nil, records the causal decision chain of every
+	// planning pass: per-flow candidate/path/slice detail, attribution
+	// chains for rejections, and preemption edges. Nil (the default)
+	// keeps the hot path allocation-free — every span construction below
+	// is guarded behind it.
+	spans *span.Recorder
 }
 
 // flowRateState is one Rates-cache entry: while now < validUntil the flow
@@ -184,6 +192,13 @@ func (s *Scheduler) FastAdmits() int { return s.fastAdmits }
 // restores the uninstrumented hot path.
 func (s *Scheduler) SetRecorder(r *obs.Recorder) { s.obs = r }
 
+// SetSpanRecorder attaches a causal span recorder: every planning pass is
+// recorded with its per-flow plans (candidates, winning path, granted
+// slices, planned finish), rejections and preemptions carry attribution
+// chains naming the blocking links and their holders. A nil recorder (the
+// default) disables recording with zero cost on the planning path.
+func (s *Scheduler) SetSpanRecorder(r *span.Recorder) { s.spans = r }
+
 // Slices returns the planned transmission slices of a flow (for tests and
 // the SDN control plane, which ships them to senders).
 func (s *Scheduler) Slices(id sim.FlowID) simtime.IntervalSet { return s.slices[id] }
@@ -209,8 +224,9 @@ type allocation struct {
 }
 
 // planAll runs Alg. 2 (via the Planner) over the given flows, already
-// sorted by priority, and classifies misses.
-func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
+// sorted by priority, and classifies misses. kind and trigger describe the
+// pass for span tracing (which task arrival / discard / failure caused it).
+func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKind, trigger int64) *allocation {
 	s.ensurePlanner(st)
 	reqs := make([]FlowReq, len(flows))
 	for i, f := range flows {
@@ -224,9 +240,11 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
 	}
 	var t0 time.Time
 	var p0 int64
+	if s.obs != nil || s.spans != nil {
+		p0 = s.planner.PathsTried()
+	}
 	if s.obs != nil {
 		t0 = time.Now() //taps:allow wallclock obs-only planner latency; never feeds simulated time
-		p0 = s.planner.PathsTried()
 	}
 	occ := make(map[topology.LinkID]simtime.IntervalSet)
 	entries := s.planner.PlanAll(st.Now(), reqs, occ)
@@ -238,6 +256,13 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow) *allocation {
 			Flows:      int32(len(flows)),
 			PathsTried: s.planner.PathsTried() - p0,
 			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
+		})
+	}
+	if s.spans != nil {
+		s.spans.Replan(span.ReplanSpan{
+			Time: st.Now(), Kind: kind, Trigger: trigger,
+			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
+			Plans: spanPlans(flows, entries),
 		})
 	}
 	a := &allocation{
@@ -305,7 +330,7 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 	flows := st.ActiveFlows() // includes the new task's flows
 	sched.SortFlows(flows, s.less)
 	s.replans++
-	plan := s.planAll(st, flows)
+	plan := s.planAll(st, flows, span.ReplanArrival, int64(task.ID))
 
 	accepted := true
 	if !s.cfg.DisableRejectRule {
@@ -313,12 +338,19 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 		if !ok {
 			// The new task is discarded; re-plan without it.
 			accepted = false
+			if s.spans != nil {
+				s.spans.Attribute(int64(task.ID), s.buildAttribution(st, task.ID, plan))
+			}
 			s.discardTask(st, task.ID, false)
-			plan = s.replanActive(st)
+			plan = s.replanActive(st, span.ReplanPostReject, int64(task.ID))
 		} else if victim >= 0 {
 			// An existing task is preempted in favor of the newcomer.
+			if s.spans != nil {
+				s.spans.PreemptedBy(int64(victim), int64(task.ID))
+				s.spans.Attribute(int64(victim), s.buildAttribution(st, victim, plan))
+			}
 			s.discardTask(st, victim, true)
-			plan = s.replanActive(st)
+			plan = s.replanActive(st, span.ReplanPostPreempt, int64(victim))
 		}
 	}
 	s.commit(st, plan)
@@ -356,9 +388,11 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 	}
 	var t0 time.Time
 	var p0 int64
+	if s.obs != nil || s.spans != nil {
+		p0 = s.planner.PathsTried()
+	}
 	if s.obs != nil {
 		t0 = time.Now() //taps:allow wallclock obs-only planner latency; never feeds simulated time
-		p0 = s.planner.PathsTried()
 	}
 	// Copy-on-write: the pass reads s.occ directly and clones only the
 	// links a winning path claims, so a failed attempt costs no copies
@@ -378,6 +412,13 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 			Flows:      int32(len(flows)),
 			PathsTried: s.planner.PathsTried() - p0,
 			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
+		})
+	}
+	if s.spans != nil {
+		s.spans.Replan(span.ReplanSpan{
+			Time: st.Now(), Kind: span.ReplanFastAdmit, Trigger: int64(task.ID),
+			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
+			Plans: spanPlans(flows, entries),
 		})
 	}
 	now := st.Now()
@@ -431,11 +472,11 @@ func (s *Scheduler) discardTask(st *sim.State, id sim.TaskID, preempted bool) {
 }
 
 // replanActive re-runs PathCalculation over the surviving active flows.
-func (s *Scheduler) replanActive(st *sim.State) *allocation {
+func (s *Scheduler) replanActive(st *sim.State, kind span.ReplanKind, trigger int64) *allocation {
 	flows := st.ActiveFlows()
 	sched.SortFlows(flows, s.less)
 	s.replans++
-	return s.planAll(st, flows)
+	return s.planAll(st, flows, kind, trigger)
 }
 
 // commit installs a tentative plan as the controller state: per-flow
@@ -480,7 +521,7 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 // excludes the dead link, so the planner routes around it, re-packing
 // slices onto the remaining capacity.
 func (s *Scheduler) OnLinkDown(st *sim.State, link topology.LinkID) {
-	s.commit(st, s.replanActive(st))
+	s.commit(st, s.replanActive(st, span.ReplanRecovery, span.NoTask))
 }
 
 // Rates implements sim.Scheduler: a flow transmits at line rate during its

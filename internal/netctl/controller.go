@@ -9,6 +9,7 @@ import (
 
 	"taps/internal/core"
 	"taps/internal/obs"
+	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -75,6 +76,7 @@ type Controller struct {
 	planner *core.Planner
 	epoch   time.Time
 	obs     *obs.Recorder
+	spans   *span.Recorder
 
 	mu        sync.Mutex
 	agents    map[*codec]HelloMsg
@@ -98,6 +100,7 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 		planner:   &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths},
 		epoch:     time.Now(), //taps:allow wallclock real controller: the virtual clock is anchored to a wall-clock epoch
 		obs:       obs.NewRecorder(obs.Options{}),
+		spans:     span.NewRecorder(),
 		agents:    make(map[*codec]HelloMsg),
 		flows:     make(map[uint64]*ctlFlow),
 		taskFlows: make(map[int64][]uint64),
@@ -229,7 +232,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 	if c.decided[p.Task] {
 		// Duplicate probe (agent retry): replan and re-broadcast.
 		if c.accepted[p.Task] {
-			c.replanLocked()
+			c.replanLocked(span.ReplanArrival, p.Task)
 			c.broadcastGrantsLocked()
 		} else {
 			c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "already rejected"}})
@@ -238,6 +241,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 	}
 	c.decided[p.Task] = true
 	now := c.now()
+	c.spans.TaskArrived(p.Task, now, p.Deadline)
 
 	// Tentative: all in-flight flows plus the new task's.
 	for _, fi := range p.Flows {
@@ -246,13 +250,22 @@ func (c *Controller) onProbe(p ProbeMsg) {
 			size: fi.Size, deadline: p.Deadline,
 		}
 		c.taskFlows[p.Task] = append(c.taskFlows[p.Task], fi.ID)
+		label := c.graph.Node(fi.Src).Name + "->" + c.graph.Node(fi.Dst).Name
+		c.spans.FlowArrived(int64(fi.ID), p.Task, now, p.Deadline, label)
 	}
-	missed := c.planLocked(now)
+	missed := c.planLocked(now, span.ReplanArrival, p.Task)
 	decision, victim := core.EvaluateRejectRule(missed, p.Task, c.fractionLocked(now), c.cfg.NoPreemption)
 	switch decision {
 	case core.RejectNew:
+		// Attribution reads the doomed task's flows and the tentative
+		// plan's occupancy, so it must precede the drop.
+		c.spans.Attribute(p.Task, c.attributionLocked(p.Task, now))
+		c.spans.TaskEnded(p.Task, now, span.OutcomeRejected, "reject rule")
+		for _, fid := range c.taskFlows[p.Task] {
+			c.spans.FlowEnded(int64(fid), now, false, false, "task rejected")
+		}
 		c.dropTaskLocked(p.Task)
-		c.replanLocked()
+		c.replanLocked(span.ReplanPostReject, p.Task)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskRejected,
 			Task: p.Task, Reason: "reject rule"})
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
@@ -262,9 +275,16 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// The victim's completion fraction must be read before its flows
 		// are dropped (dropTaskLocked deletes them, which reads as 100%).
 		frac := c.fractionLocked(now)(victim)
+		c.spans.Attribute(victim, c.attributionLocked(victim, now))
+		c.spans.TaskEnded(victim, now, span.OutcomePreempted,
+			fmt.Sprintf("preempted by task %d", p.Task))
+		c.spans.PreemptedBy(victim, p.Task)
+		for _, fid := range c.taskFlows[victim] {
+			c.spans.FlowEnded(int64(fid), now, false, false, "task preempted")
+		}
 		c.dropTaskLocked(victim)
 		c.accepted[p.Task] = true
-		c.replanLocked()
+		c.replanLocked(span.ReplanPostPreempt, victim)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskPreempted,
 			Task: victim, Fraction: frac, Reason: "preempted"})
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
@@ -280,8 +300,10 @@ func (c *Controller) onProbe(p ProbeMsg) {
 }
 
 // planLocked re-plans every undone flow of every accepted-or-pending task
-// from `now` and returns the set of tasks with missed deadlines.
-func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
+// from `now` and returns the set of tasks with missed deadlines. kind and
+// trigger label the pass in the span tree (why it ran, which task caused
+// it).
+func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger int64) map[int64]bool {
 	type item struct {
 		f   *ctlFlow
 		req core.FlowReq
@@ -328,6 +350,17 @@ func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
 		PathsTried: c.planner.PathsTried() - p0,
 		Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 	})
+	if c.spans.Enabled() {
+		planned := make([]*ctlFlow, len(items))
+		for i, it := range items {
+			planned[i] = it.f
+		}
+		c.spans.Replan(span.ReplanSpan{
+			Time: now, Kind: kind, Trigger: trigger, Flows: len(reqs),
+			PathsTried: c.planner.PathsTried() - p0,
+			Plans:      planSpans(planned, entries),
+		})
+	}
 	missed := make(map[int64]bool)
 	for i, e := range entries {
 		f := items[i].f
@@ -343,7 +376,9 @@ func (c *Controller) planLocked(now simtime.Time) map[int64]bool {
 }
 
 // replanLocked re-plans the surviving flows (used after a drop).
-func (c *Controller) replanLocked() { c.planLocked(c.now()) }
+func (c *Controller) replanLocked(kind span.ReplanKind, trigger int64) {
+	c.planLocked(c.now(), kind, trigger)
+}
 
 // fractionLocked returns the byte-completion fraction function for the
 // reject rule, derived from the authoritative plan.
@@ -405,13 +440,24 @@ func (c *Controller) broadcastLocked(env Envelope) {
 	}
 }
 
-// onTerm marks a flow finished and releases its future occupancy.
+// onTerm marks a flow finished and releases its future occupancy. When the
+// last flow of a task terminates, the task's span closes as completed.
 func (c *Controller) onTerm(t TermMsg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if f, ok := c.flows[t.Flow]; ok {
-		f.done = true
+	f, ok := c.flows[t.Flow]
+	if !ok || f.done {
+		return
 	}
+	f.done = true
+	now := c.now()
+	c.spans.FlowEnded(int64(f.id), now, true, now <= f.deadline, "")
+	for _, fid := range c.taskFlows[f.task] {
+		if g, ok := c.flows[fid]; !ok || !g.done {
+			return
+		}
+	}
+	c.spans.TaskEnded(f.task, now, span.OutcomeCompleted, "")
 }
 
 // Snapshot is introspection for tests and operators.

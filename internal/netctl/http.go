@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"taps/internal/obs"
+	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -99,6 +100,10 @@ type EventsPage struct {
 //	                        replan-latency histogram, link gauges)
 //	GET /events?since=N  -> EventsPage JSON: events with Seq > N
 //	                        (&limit=M caps the page size, default 256)
+//	GET /trace           -> Chrome trace_event JSON of the causal span
+//	                        tree (open in Perfetto / chrome://tracing)
+//	GET /why?task=N      -> plain-text causal explanation of task N's
+//	                        fate (attribution chain for rejections)
 //	GET /debug/vars      -> expvar JSON
 //	GET /debug/pprof/    -> runtime profiles
 //
@@ -141,13 +146,36 @@ func (c *Controller) HTTPHandler() http.Handler {
 		if n := len(page.Events); n > 0 {
 			page.LastSeq = page.Events[n-1].Seq
 		} else {
-			page.LastSeq = since
+			// Empty page: resync the cursor to the recorder's current
+			// sequence instead of echoing `since` back. A cursor ahead of
+			// the recorder (stale client state from a previous controller
+			// incarnation, or a typo'd ?since=) would otherwise be echoed
+			// forever and the client would never advance.
+			page.LastSeq = c.obs.Seq()
 			page.Events = []obs.Event{} // "[]", not "null"
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(page); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		linkName := func(l int32) string { return c.graph.Link(topology.LinkID(l)).Name }
+		if err := span.WriteTraceEvents(w, c.spans.Snapshot(),
+			span.ExportOptions{LinkName: linkName}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /why", func(w http.ResponseWriter, r *http.Request) {
+		task, err := strconv.ParseInt(r.URL.Query().Get("task"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad task: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		linkName := func(l int32) string { return c.graph.Link(topology.LinkID(l)).Name }
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(span.WhyText(c.spans.Snapshot(), task, linkName)))
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)

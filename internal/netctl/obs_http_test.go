@@ -162,6 +162,86 @@ func TestHTTPEventsPagination(t *testing.T) {
 	a.WaitLocalFlows()
 }
 
+// TestHTTPEventsRingWrapAndStaleCursor covers the /events cursor at the
+// ring edges: after the ring wraps, a cursor older than the oldest
+// retained event streams the full retained window (not an empty page),
+// and a cursor ahead of the recorder — stale client state from a previous
+// controller incarnation — resyncs to the live sequence instead of being
+// echoed back forever.
+func TestHTTPEventsRingWrapAndStaleCursor(t *testing.T) {
+	ctl, _, _ := startController(t)
+	rec := ctl.Recorder()
+	// Overflow the ring (default capacity 8192) so early seqs are evicted.
+	const total = 9000
+	for i := 0; i < total; i++ {
+		rec.Record(obs.Event{Kind: obs.KindTaskAdmitted, Task: int64(i)})
+	}
+	srv := httptest.NewServer(ctl.HTTPHandler())
+	defer srv.Close()
+	getPage := func(since uint64, limit int) netctl.EventsPage {
+		t.Helper()
+		url := srv.URL + "/events?since=" + strconv.FormatUint(since, 10) +
+			"&limit=" + strconv.Itoa(limit)
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("events = %d", resp.StatusCode)
+		}
+		var page netctl.EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	head := rec.Seq()
+	oldest := head - 8192 + 1
+	// A cursor from before the retained window: the page starts at the
+	// oldest retained event and the cursor advances.
+	page := getPage(1, 16)
+	if len(page.Events) != 16 || page.Events[0].Seq != oldest {
+		t.Fatalf("wrapped page starts at seq %d (%d events), want %d",
+			page.Events[0].Seq, len(page.Events), oldest)
+	}
+	if page.LastSeq <= 1 {
+		t.Fatalf("cursor did not advance: %d", page.LastSeq)
+	}
+	// Paging from there converges on the head with contiguous seqs.
+	since, last := page.LastSeq, page.Events[len(page.Events)-1].Seq
+	for pages := 0; pages < 20 && since < head; pages++ {
+		p := getPage(since, 1024)
+		if len(p.Events) == 0 {
+			break
+		}
+		if p.Events[0].Seq != last+1 {
+			t.Fatalf("gap: page starts at %d after %d", p.Events[0].Seq, last)
+		}
+		last = p.Events[len(p.Events)-1].Seq
+		since = p.LastSeq
+	}
+	if last != head {
+		t.Fatalf("paged up to %d, want head %d", last, head)
+	}
+
+	// A cursor ahead of the recorder resyncs to the live sequence.
+	stale := getPage(head+500, 16)
+	if len(stale.Events) != 0 {
+		t.Fatalf("stale cursor returned %d events", len(stale.Events))
+	}
+	if stale.LastSeq != head {
+		t.Fatalf("stale cursor echoed %d, want resync to %d", stale.LastSeq, head)
+	}
+	// From the resynced cursor, new events flow again.
+	rec.Record(obs.Event{Kind: obs.KindTaskAdmitted, Task: 424242})
+	next := getPage(stale.LastSeq, 16)
+	if len(next.Events) != 1 || next.Events[0].Task != 424242 {
+		t.Fatalf("post-resync page = %+v", next)
+	}
+}
+
 func TestHTTPDebugEndpoints(t *testing.T) {
 	ctl, _, _ := startController(t)
 	srv := httptest.NewServer(ctl.HTTPHandler())

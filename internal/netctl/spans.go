@@ -1,0 +1,144 @@
+package netctl
+
+import (
+	"sort"
+
+	"taps/internal/core"
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+)
+
+// SpanRecorder returns the controller's always-on causal span recorder:
+// task/flow lifecycles, every planning pass with its grants, and the
+// attribution chains behind rejections and preemptions. This is the data
+// served by GET /trace and GET /why; snapshot it at any time while the
+// controller keeps recording.
+func (c *Controller) SpanRecorder() *span.Recorder { return c.spans }
+
+// planSpans converts one planning pass into span records: one PlanSpan per
+// flow, capturing the Alg. 2 search (candidates, winning path) and the
+// Alg. 3 grant (slice windows, planned finish). The controller-side twin
+// of core's spanPlans, over ctlFlow instead of sim.Flow.
+func planSpans(flows []*ctlFlow, entries []core.PlanEntry) []span.PlanSpan {
+	plans := make([]span.PlanSpan, len(entries))
+	for i, f := range flows {
+		e := entries[i]
+		ps := span.PlanSpan{
+			Flow: int64(f.id), Task: f.task,
+			Candidates: e.Candidates, PathIndex: e.PathIndex,
+			Finish: e.Finish, Deadline: f.deadline,
+			Missed: e.Finish > f.deadline,
+		}
+		if e.Path != nil {
+			ps.Path = make([]int32, len(e.Path))
+			for j, l := range e.Path {
+				ps.Path[j] = int32(l)
+			}
+			ps.Slices = append([]simtime.Interval(nil), e.Slices.Intervals()...)
+		}
+		plans[i] = ps
+	}
+	return plans
+}
+
+// attributionLocked explains why the tentative plan doomed a task: for
+// each of its pending flows, the links of its (would-be) path whose
+// occupancy within [now, deadline) belongs to other tasks, holders ordered
+// busiest first. Must run before dropTaskLocked — it reads the doomed
+// task's flows while the tentative plan (including the holders' slices) is
+// still in place. Mirrors core's buildAttribution for the controller's
+// state; links and holders are capped at the same attributionLimit (5).
+func (c *Controller) attributionLocked(task int64, now simtime.Time) []span.LinkBlock {
+	const limit = 5
+	type agg struct {
+		window  simtime.Interval
+		busy    simtime.Time
+		holders map[int64]simtime.Time
+	}
+	aggs := make(map[topology.LinkID]*agg)
+	for _, fid := range c.taskFlows[task] {
+		f := c.flows[fid]
+		if f == nil || f.done {
+			continue
+		}
+		window := simtime.Interval{Start: now, End: f.deadline}
+		if window.Empty() {
+			continue
+		}
+		path := f.path
+		if path == nil {
+			// Never routed: attribute along the first candidate path the
+			// planner would have considered.
+			if cands := c.routing.Paths(f.src, f.dst, c.cfg.MaxPaths, f.id); len(cands) > 0 {
+				path = cands[0]
+			}
+		}
+		for _, l := range path {
+			a, ok := aggs[l]
+			if !ok {
+				aggs[l] = &agg{window: window, holders: make(map[int64]simtime.Time)}
+			} else if window.End > a.window.End {
+				a.window.End = window.End
+			}
+		}
+	}
+	if len(aggs) == 0 {
+		return nil
+	}
+	// Charge every other task's planned slices on those links. Sums are
+	// commutative, so map order cannot leak into the result.
+	for _, g := range c.flows {
+		if g.task == task || g.done {
+			continue
+		}
+		for _, l := range g.path {
+			a, ok := aggs[l]
+			if !ok {
+				continue
+			}
+			if ov := g.slices.OverlapTotal(a.window); ov > 0 {
+				a.busy += ov
+				a.holders[g.task] += ov
+			}
+		}
+	}
+
+	links := make([]topology.LinkID, 0, len(aggs))
+	for l := range aggs {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		a, b := aggs[links[i]], aggs[links[j]]
+		if a.busy != b.busy {
+			return a.busy > b.busy
+		}
+		return links[i] < links[j]
+	})
+	if len(links) > limit {
+		links = links[:limit]
+	}
+	blocks := make([]span.LinkBlock, 0, len(links))
+	for _, l := range links {
+		a := aggs[l]
+		blk := span.LinkBlock{Link: int32(l), Window: a.window, Busy: a.busy}
+		holders := make([]int64, 0, len(a.holders))
+		for t := range a.holders {
+			holders = append(holders, t)
+		}
+		sort.Slice(holders, func(i, j int) bool {
+			if a.holders[holders[i]] != a.holders[holders[j]] {
+				return a.holders[holders[i]] > a.holders[holders[j]]
+			}
+			return holders[i] < holders[j]
+		})
+		if len(holders) > limit {
+			holders = holders[:limit]
+		}
+		for _, t := range holders {
+			blk.Holders = append(blk.Holders, span.Holder{Task: t, Busy: a.holders[t]})
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}

@@ -51,6 +51,47 @@ func TestRecorderRingOverwrite(t *testing.T) {
 	}
 }
 
+// TestRecorderEventsCursorBeyondRing pins the ring-wrap cursor contract: a
+// cursor older than the oldest retained event (a client that fell behind
+// by more than one ring) yields the full retained ring, not an empty page,
+// and paging forward from there converges on the head without gaps.
+func TestRecorderEventsCursorBeyondRing(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 8})
+	for i := 0; i < 30; i++ {
+		r.Record(Event{Kind: KindTaskAdmitted, Task: int64(i)})
+	}
+	// Retained: seqs 23..30. A cursor inside the evicted range must clamp
+	// to the oldest retained event.
+	for _, since := range []uint64{1, 5, 22} {
+		evs := r.Events(since, 0)
+		if len(evs) != 8 || evs[0].Seq != 23 || evs[7].Seq != 30 {
+			t.Fatalf("since=%d: want full ring 23..30, got %d events %+v", since, len(evs), evs)
+		}
+	}
+	// Paging from a fallen-behind cursor with a small limit still reaches
+	// the head.
+	var got []uint64
+	since := uint64(3)
+	for pages := 0; pages < 10; pages++ {
+		evs := r.Events(since, 3)
+		if len(evs) == 0 {
+			break
+		}
+		for _, ev := range evs {
+			got = append(got, ev.Seq)
+		}
+		since = evs[len(evs)-1].Seq
+	}
+	if len(got) != 8 || got[0] != 23 || got[7] != 30 {
+		t.Fatalf("paged seqs = %v, want 23..30", got)
+	}
+	// A cursor ahead of the recorder (stale state from a prior
+	// incarnation) is empty, not an error.
+	if evs := r.Events(100, 0); evs != nil {
+		t.Fatalf("future cursor should be empty, got %+v", evs)
+	}
+}
+
 func TestRecorderEventsPagination(t *testing.T) {
 	r := NewRecorder(Options{Capacity: 64})
 	for i := 0; i < 10; i++ {

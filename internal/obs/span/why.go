@@ -1,0 +1,104 @@
+package span
+
+import (
+	"fmt"
+	"strings"
+
+	"taps/internal/simtime"
+)
+
+// WhyText renders a human-readable causal explanation of one task's fate:
+// its lifecycle, every planning pass that decided it, and — for rejected
+// or preempted tasks — the attribution chain naming the blocking links and
+// the accepted tasks holding their slices. linkName labels links when
+// non-nil.
+func WhyText(t *Tree, task int64, linkName func(int32) string) string {
+	ts := t.Task(task)
+	if ts == nil {
+		return fmt.Sprintf("task %d: no span recorded (was span tracing enabled for the run?)\n", task)
+	}
+	name := func(l int32) string {
+		if linkName != nil {
+			return linkName(l)
+		}
+		return fmt.Sprintf("link %d", l)
+	}
+	ms := func(v simtime.Time) string {
+		if v >= simtime.Infinity {
+			return "inf"
+		}
+		return fmt.Sprintf("%.3fms", simtime.ToMillis(v))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %d — %s", task, strings.ToUpper(ts.Outcome.String()))
+	switch {
+	case ts.Outcome == OutcomePreempted && ts.PreemptedBy != NoTask:
+		fmt.Fprintf(&b, " at %s by task %d", ms(ts.End), ts.PreemptedBy)
+	case ts.Outcome != OutcomeRunning:
+		fmt.Fprintf(&b, " at %s", ms(ts.End))
+	}
+	if ts.Reason != "" {
+		fmt.Fprintf(&b, " (%s)", ts.Reason)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  arrival %s, deadline %s, %d flows\n", ms(ts.Arrival), ms(ts.Deadline), len(ts.Flows))
+
+	// Planning passes that decided this task (triggered by it, or that
+	// re-planned the fleet after its discard).
+	for i := range t.Replans {
+		rs := &t.Replans[i]
+		if rs.Trigger != task {
+			continue
+		}
+		missed := 0
+		for _, p := range rs.Plans {
+			if p.Missed {
+				missed++
+			}
+		}
+		fmt.Fprintf(&b, "  pass #%d (%s) at %s: %d flows planned, %d paths tried, %d missed\n",
+			rs.Seq, rs.Kind, ms(rs.Time), rs.Flows, rs.PathsTried, missed)
+	}
+
+	if len(ts.Blocks) > 0 {
+		fmt.Fprintf(&b, "  blocking links (no feasible window before the deadline):\n")
+		for _, blk := range ts.Blocks {
+			fmt.Fprintf(&b, "    %s: busy %s of %s in [%s, %s)",
+				name(blk.Link), ms(blk.Busy), ms(blk.Window.Len()),
+				ms(blk.Window.Start), ms(blk.Window.End))
+			if len(blk.Holders) > 0 {
+				b.WriteString(" held by")
+				for i, h := range blk.Holders {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, " task %d (%s)", h.Task, ms(h.Busy))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	// Per-flow final plan: what the planner last decided for each flow.
+	for _, fid := range ts.Flows {
+		plans := t.plansOf(fid)
+		fs := t.Flow(fid)
+		label := fmt.Sprintf("f%d", fid)
+		if fs != nil && fs.Label != "" {
+			label += " " + fs.Label
+		}
+		if len(plans) == 0 {
+			fmt.Fprintf(&b, "  %s: never planned\n", label)
+			continue
+		}
+		p := plans[len(plans)-1].plan
+		verdict := "fits"
+		if p.Missed {
+			verdict = "MISSES"
+		}
+		fmt.Fprintf(&b, "  %s: %d candidates, path #%d (%d links), planned finish %s vs deadline %s — %s\n",
+			label, p.Candidates, p.PathIndex, len(p.Path), ms(p.Finish), ms(p.Deadline), verdict)
+	}
+	return b.String()
+}

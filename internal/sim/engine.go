@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"taps/internal/obs"
+	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
 )
@@ -250,6 +251,14 @@ type Config struct {
 	// utilization samples from every integration step. Nil disables
 	// recording with zero overhead on the hot path.
 	Obs *obs.Recorder
+	// Spans, when non-nil, receives the causal lifecycle of every task
+	// and flow: arrivals and terminal outcomes live during the run, plus
+	// — when RecordSegments is also set — the transmission segments,
+	// imported at the end of the run. Pair it with the TAPS scheduler's
+	// SetSpanRecorder (same recorder) to get the full span tree:
+	// arrivals, planning passes, grants, transmissions, terminals.
+	// Nil disables recording with zero overhead on the hot path.
+	Spans *span.Recorder
 }
 
 // LinkFailure kills one directed link at an instant.
@@ -317,6 +326,13 @@ func (e *Engine) taskEnded(t *Task, note string, preempted bool) {
 		}
 		r.Record(ev)
 	}
+	if r := e.cfg.Spans; r != nil {
+		outcome := span.OutcomeRejected
+		if preempted {
+			outcome = span.OutcomePreempted
+		}
+		r.TaskEnded(int64(t.ID), e.st.now, outcome, note)
+	}
 	if preempted {
 		e.sched.OnTaskPreempted(e.st, t)
 	} else {
@@ -362,6 +378,7 @@ func (e *Engine) Run() (*Result, error) {
 		e.completeFinished()
 		e.events++
 	}
+	e.finishSpans()
 	return &Result{
 		Scheduler: e.sched.Name(),
 		Flows:     st.flows,
@@ -370,6 +387,56 @@ func (e *Engine) Run() (*Result, error) {
 		Events:    e.events,
 		Segments:  e.segments,
 	}, nil
+}
+
+// finishSpans closes the span tree at the end of a run: every flow's
+// terminal event (its Finish instant and kill note are authoritative on
+// the Flow itself), the terminal outcome of tasks the reject rule never
+// touched (completed, or killed mid-flight by deadline misses / link
+// failures — rejections and preemptions were already recorded live by
+// taskEnded), and the transmission segments when the run recorded them.
+func (e *Engine) finishSpans() {
+	r := e.cfg.Spans
+	if r == nil {
+		return
+	}
+	st := e.st
+	for _, f := range st.flows {
+		switch f.State {
+		case FlowDone:
+			r.FlowEnded(int64(f.ID), f.Finish, true, f.Finish <= f.Deadline, "")
+		case FlowKilled:
+			r.FlowEnded(int64(f.ID), f.Finish, false, false, f.KillNote)
+		}
+		if segs := e.segments[f.ID]; len(segs) > 0 {
+			out := make([]span.Segment, len(segs))
+			for i, s := range segs {
+				out[i] = span.Segment{Interval: s.Interval, Rate: s.Rate}
+			}
+			r.ImportSegments(int64(f.ID), out)
+		}
+	}
+	for _, t := range st.tasks {
+		if t.Rejected {
+			continue
+		}
+		allDone, end, note := true, t.Arrival, ""
+		for _, fid := range t.Flows {
+			f := st.flows[fid]
+			end = max(end, f.Finish)
+			if f.State != FlowDone {
+				allDone = false
+				if note == "" {
+					note = f.KillNote
+				}
+			}
+		}
+		if allDone {
+			r.TaskEnded(int64(t.ID), end, span.OutcomeCompleted, "")
+		} else {
+			r.TaskEnded(int64(t.ID), end, span.OutcomeKilled, note)
+		}
+	}
 }
 
 // applyFailures takes due links down, reroutes or kills the affected
@@ -402,6 +469,7 @@ func (e *Engine) applyFailures() {
 		}
 		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindLinkDown,
 			Task: obs.NoTask, Link: int32(lf.Link)})
+		e.cfg.Spans.LinkWentDown(int32(lf.Link), st.now)
 		e.sched.OnLinkDown(st, lf.Link)
 	}
 }
@@ -418,6 +486,7 @@ func (e *Engine) admitArrivals() {
 			Deadline: spec.Arrival + spec.Deadline,
 		}
 		st.tasks = append(st.tasks, task)
+		e.cfg.Spans.TaskArrived(int64(task.ID), task.Arrival, task.Deadline)
 		for _, fs := range spec.Flows {
 			f := &Flow{
 				ID:        FlowID(len(st.flows)),
@@ -435,6 +504,10 @@ func (e *Engine) admitArrivals() {
 			}
 			st.flows = append(st.flows, f)
 			task.Flows = append(task.Flows, f.ID)
+			if e.cfg.Spans != nil {
+				label := st.graph.Node(fs.Src).Name + "->" + st.graph.Node(fs.Dst).Name
+				e.cfg.Spans.FlowArrived(int64(f.ID), int64(task.ID), f.Arrival, f.Deadline, label)
+			}
 			if f.remaining <= 0 || fs.Src == fs.Dst {
 				// Zero bytes, or a local transfer that never touches
 				// the network: delivered instantly (the bytes count as

@@ -136,6 +136,30 @@ func (s IntervalSet) Contains(t Time) bool {
 	return i < len(s.ivs) && s.ivs[i].Contains(t)
 }
 
+// OverlapsInterval reports whether any instant of iv is in the set.
+func (s IntervalSet) OverlapsInterval(iv Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	i := s.firstEndAbove(iv.Start)
+	return i < len(s.ivs) && s.ivs[i].Start < iv.End
+}
+
+// OverlapTotal returns the total measure of the set's intersection with
+// iv — how much of the window the set occupies. The causal-attribution
+// layer uses it to rank which holders' slices block a window, and the
+// trace exporter to clip slice windows to plan validity.
+func (s IntervalSet) OverlapTotal(iv Interval) Time {
+	if iv.Empty() {
+		return 0
+	}
+	var total Time
+	for i := s.firstEndAbove(iv.Start); i < len(s.ivs) && s.ivs[i].Start < iv.End; i++ {
+		total += s.ivs[i].Intersect(iv).Len()
+	}
+	return total
+}
+
 // Add inserts the interval into the set, merging with neighbours.
 // Empty intervals are ignored. Adjacent intervals are coalesced.
 //

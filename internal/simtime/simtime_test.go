@@ -491,3 +491,63 @@ func TestPropUnionTotalAtLeastMax(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOverlapsInterval(t *testing.T) {
+	s := NewIntervalSet(Interval{10, 20}, Interval{30, 40})
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{0, 10}, false},  // touches the first interval's start
+		{Interval{0, 11}, true},   // crosses into it
+		{Interval{20, 30}, false}, // exactly the gap
+		{Interval{19, 31}, true},
+		{Interval{40, 50}, false}, // starts at the last end
+		{Interval{35, 35}, false}, // empty window
+		{Interval{5, 50}, true},
+	}
+	for _, c := range cases {
+		if got := s.OverlapsInterval(c.iv); got != c.want {
+			t.Errorf("OverlapsInterval(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+	var empty IntervalSet
+	if empty.OverlapsInterval(Interval{0, 100}) {
+		t.Error("empty set overlaps nothing")
+	}
+}
+
+func TestOverlapTotal(t *testing.T) {
+	s := NewIntervalSet(Interval{10, 20}, Interval{30, 40})
+	cases := []struct {
+		iv   Interval
+		want Time
+	}{
+		{Interval{0, 100}, 20},
+		{Interval{0, 10}, 0},
+		{Interval{15, 35}, 10}, // 5 from each interval
+		{Interval{12, 18}, 6},
+		{Interval{20, 30}, 0},
+		{Interval{25, 25}, 0}, // empty window
+	}
+	for _, c := range cases {
+		if got := s.OverlapTotal(c.iv); got != c.want {
+			t.Errorf("OverlapTotal(%v) = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestPropOverlapTotalMatchesIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randSet(r, 20)
+		start := Time(r.Intn(1000))
+		iv := Interval{start, start + Time(r.Intn(200))}
+		want := Intersect(s, NewIntervalSet(iv)).Total()
+		return s.OverlapTotal(iv) == want &&
+			s.OverlapsInterval(iv) == (want > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,9 @@
 //
 // Legend: '#' full line rate, digits 1-9 tenths of line rate, '.' active
 // but silent, '|' deadline, '$' on-time completion, 'x' kill/late end.
+// With span data (Options.Spans): '~' a slice window that was granted and
+// later revoked by a re-plan or kill, 'P' the kill instant of a flow whose
+// task was preempted for a newcomer.
 package trace
 
 import (
@@ -12,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"taps/internal/obs/span"
 	"taps/internal/sim"
 	"taps/internal/simtime"
 )
@@ -25,6 +29,11 @@ type Options struct {
 	LineRate float64
 	// MaxFlows caps the number of rows (default all).
 	MaxFlows int
+	// Spans, when non-nil, enriches the chart from the run's span tree:
+	// slice windows that were granted and then revoked by a re-plan (or a
+	// kill) render as '~', and flows killed because their task was
+	// preempted get a 'P' end mark instead of the generic 'x'.
+	Spans *span.Tree
 }
 
 // Gantt renders the run's schedule. Flows are ordered by ID (arrival
@@ -83,6 +92,14 @@ func Gantt(res *sim.Result, opts Options) string {
 			lifeEnd = end
 		}
 		fill(f.Arrival, lifeEnd, '.')
+		// Revoked slice windows (granted by a plan, taken back by a
+		// re-plan or kill) under the actual transmissions, which
+		// overwrite them where bytes really moved.
+		if opts.Spans != nil {
+			for _, iv := range opts.Spans.RevokedWindows(int64(f.ID)) {
+				fill(iv.Start, iv.End, '~')
+			}
+		}
 		// Transmission segments.
 		for _, s := range res.Segments[f.ID] {
 			fill(s.Interval.Start, s.Interval.End, rateMark(s.Rate, lineRate))
@@ -94,13 +111,28 @@ func Gantt(res *sim.Result, opts Options) string {
 		switch {
 		case f.OnTime():
 			row[col(f.Finish)] = '$'
+		case f.State == sim.FlowKilled && preemptedTask(opts.Spans, f.Task):
+			row[col(f.Finish)] = 'P'
 		case f.State == sim.FlowKilled, f.State == sim.FlowDone:
 			row[col(f.Finish)] = 'x'
 		}
 		fmt.Fprintf(&b, "f%-4d t%-3d %s\n", f.ID, f.Task, string(row))
 	}
 	b.WriteString("legend: # line rate, 1-9 tenths, . waiting, | deadline, $ on time, x late/killed\n")
+	if opts.Spans != nil {
+		b.WriteString("        ~ granted then revoked by re-plan/kill, P killed by preemption\n")
+	}
 	return b.String()
+}
+
+// preemptedTask reports whether the span tree records the flow's task as
+// preempted (sacrificed for a newcomer by the reject rule).
+func preemptedTask(t *span.Tree, task sim.TaskID) bool {
+	if t == nil {
+		return false
+	}
+	ts := t.Task(int64(task))
+	return ts != nil && ts.Outcome == span.OutcomePreempted
 }
 
 // rateMark maps a rate to '#' (full) or a digit for partial rates.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"taps/internal/core"
+	"taps/internal/obs/span"
 	"taps/internal/sched/fairshare"
 	"taps/internal/sim"
 	"taps/internal/simtime"
@@ -105,6 +106,122 @@ func TestGanttKilledFlowMarker(t *testing.T) {
 	out := trace.Gantt(res, trace.Options{Width: 30})
 	if !strings.Contains(out, "x") {
 		t.Fatalf("killed marker missing:\n%s", out)
+	}
+}
+
+// spanTrackedRun runs TAPS with a span recorder on both the engine and
+// the scheduler, returning result + tree for span-enriched rendering.
+func spanTrackedRun(t *testing.T, specs []sim.TaskSpec) (*sim.Result, *span.Tree) {
+	t.Helper()
+	g := topology.NewGraph()
+	sw := g.AddNode(topology.ToR, "s", 1, 0)
+	a := g.AddNode(topology.Host, "a", 0, 0)
+	b := g.AddNode(topology.Host, "b", 0, 0)
+	g.AddDuplex(a, sw, 1e6)
+	g.AddDuplex(b, sw, 1e6)
+	sched := core.New(core.DefaultConfig())
+	rec := span.NewRecorder()
+	sched.SetSpanRecorder(rec)
+	eng := sim.New(g, topology.NewBFSRouting(g), sched, specs, sim.Config{
+		Validate: true, RecordSegments: true, Spans: rec, MaxTime: simtime.Time(1e10),
+	})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec.Snapshot()
+}
+
+// TestGanttPreemptionMarks checks the span-enriched chart for a preempted
+// task: its killed flow ends in 'P' instead of the generic 'x', and slice
+// windows that were granted and then torn down render as '~'. The §IV-B
+// fraction comparison makes organic mid-flight preemption all but
+// impossible (a newcomer's completion fraction is always 0 and ties keep
+// the incumbent — see core's reject-rule tests), so the span tree is built
+// by hand over a real run whose flow genuinely ends in FlowKilled, pinning
+// the renderer rather than the scheduler branch.
+func TestGanttPreemptionMarks(t *testing.T) {
+	// Infeasible task: 50 ms of work against a 1 ms deadline. TAPS rejects
+	// it at arrival and the engine kills flow 0 at t=0 (FlowKilled).
+	specs := []sim.TaskSpec{{Arrival: 0, Deadline: 1 * simtime.Millisecond,
+		Flows: []sim.FlowSpec{{Src: 1, Dst: 2, Size: 50_000}}}}
+	res, _ := spanTrackedRun(t, specs)
+	if res.Flows[0].State != sim.FlowKilled {
+		t.Fatalf("flow 0 state = %v, want killed", res.Flows[0].State)
+	}
+
+	// Span overlay: the task was granted [200,800) µs, then preempted for
+	// task 1 and killed at t=0, revoking the whole window.
+	rec := span.NewRecorder()
+	rec.TaskArrived(0, 0, simtime.Millisecond)
+	rec.FlowArrived(0, 0, 0, simtime.Millisecond, "a->b")
+	rec.Replan(span.ReplanSpan{Time: 0, Kind: span.ReplanArrival, Trigger: 0,
+		Plans: []span.PlanSpan{{Flow: 0, Task: 0, Path: []int32{0},
+			Slices: []simtime.Interval{{Start: 200, End: 800}}}}})
+	rec.FlowEnded(0, 0, false, false, "preempted by task 1")
+	rec.TaskEnded(0, 0, span.OutcomePreempted, "preempted by task 1")
+	rec.PreemptedBy(0, 1)
+	tree := rec.Snapshot()
+	if got := tree.RevokedWindows(0); len(got) != 1 ||
+		got[0] != (simtime.Interval{Start: 200, End: 800}) {
+		t.Fatalf("revoked windows = %v", got)
+	}
+
+	out := trace.Gantt(res, trace.Options{Width: 60, Spans: tree})
+	// The header names the scheduler ("TAPS"), so scope mark checks to the
+	// flow's row.
+	row := strings.Split(out, "\n")[1]
+	if !strings.Contains(row, "P") {
+		t.Fatalf("preempted kill not marked 'P':\n%s", out)
+	}
+	if !strings.Contains(row, "~") {
+		t.Fatalf("revoked windows not marked '~':\n%s", out)
+	}
+	if strings.Contains(row, "x") {
+		t.Fatalf("preempted flow still carries the generic kill mark:\n%s", out)
+	}
+	if !strings.Contains(out, "preemption") {
+		t.Fatal("legend lacks span marks")
+	}
+	// Without span data the same run renders the generic kill mark.
+	plainRow := strings.Split(trace.Gantt(res, trace.Options{Width: 60}), "\n")[1]
+	if strings.Contains(plainRow, "P") || strings.Contains(plainRow, "~") {
+		t.Fatalf("span marks leaked into span-less rendering:\n%s", plainRow)
+	}
+	if !strings.Contains(plainRow, "x") {
+		t.Fatalf("span-less rendering lost the kill mark:\n%s", plainRow)
+	}
+}
+
+// TestGanttZeroDurationWindow pins the renderer against degenerate span
+// data: zero-duration granted windows (Start == End) must render nothing
+// rather than a stray mark or a panic.
+func TestGanttZeroDurationWindow(t *testing.T) {
+	res, _ := spanTrackedRun(t, specsAB())
+	rec := span.NewRecorder()
+	rec.TaskArrived(0, 0, 10*simtime.Millisecond)
+	rec.FlowArrived(0, 0, 0, 10*simtime.Millisecond, "a->b")
+	rec.Replan(span.ReplanSpan{Time: 0, Kind: span.ReplanArrival, Trigger: 0,
+		Plans: []span.PlanSpan{{Flow: 0, Task: 0, Path: []int32{0},
+			Slices: []simtime.Interval{
+				{Start: 1000, End: 1000}, // zero-duration grant
+				{Start: 2000, End: 4000},
+			}}}})
+	// Supersede immediately at t=0: every non-empty window is revoked.
+	rec.Replan(span.ReplanSpan{Time: 0, Kind: span.ReplanArrival, Trigger: 0,
+		Plans: []span.PlanSpan{{Flow: 0, Task: 0, Path: []int32{0},
+			Slices: []simtime.Interval{{Start: 5000, End: 5000}}}}})
+	tree := rec.Snapshot()
+	out := trace.Gantt(res, trace.Options{Width: 40, Spans: tree})
+	if !strings.Contains(out, "~") {
+		t.Fatalf("revoked non-empty window missing:\n%s", out)
+	}
+	// The zero-duration grants contribute no marks: only [2000,4000) is
+	// revoked, so '~' appears in flow 0's row but never at t=5000's
+	// column beyond the flow's life.
+	if got := tree.RevokedWindows(0); len(got) != 1 ||
+		got[0] != (simtime.Interval{Start: 2000, End: 4000}) {
+		t.Fatalf("revoked windows = %v", got)
 	}
 }
 

@@ -1,6 +1,9 @@
 package taps_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"taps"
@@ -207,5 +210,36 @@ func TestFacadeVarysCCT(t *testing.T) {
 	}
 	if res.Scheduler != "Varys-CCT" {
 		t.Fatalf("scheduler = %q", res.Scheduler)
+	}
+}
+
+func TestFacadeSpanTracing(t *testing.T) {
+	net := smallNet()
+	tasks := smallWorkload(net)
+	rec := taps.NewSpanRecorder()
+	s := taps.ObserveSpans(taps.NewTAPS(), rec)
+	res, err := taps.RunWithOptions(net, s, tasks, taps.RunOptions{
+		RecordSegments: true, Spans: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rec.Snapshot()
+	if len(tree.Tasks) != 8 || len(tree.Replans) == 0 {
+		t.Fatalf("span tree: %d tasks, %d replans", len(tree.Tasks), len(tree.Replans))
+	}
+	var buf bytes.Buffer
+	if err := taps.WriteTrace(&buf, net, tree); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) || !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("WriteTrace did not emit trace_event JSON")
+	}
+	why := taps.Why(net, tree, tree.Tasks[0].Task)
+	if why == "" || !strings.Contains(why, "task 0") {
+		t.Fatalf("Why output: %q", why)
+	}
+	if g := taps.GanttWithSpans(res, tree, 40); !strings.Contains(g, "revoked") {
+		t.Fatalf("GanttWithSpans lacks the span legend:\n%s", g)
 	}
 }
