@@ -5,9 +5,16 @@
 //
 //	tapsctl -listen 127.0.0.1:7474 -topo testbed
 //	tapsctl -listen :7474 -topo fattree -k 8 -speedup 10
+//	tapsctl -declog taps.dlg -listen :7474        # flight recorder on
+//	tapsctl -replay taps.dlg                      # time travel: world at end of log
+//	tapsctl -replay taps.dlg -until 250000 -why 7 # why was task 7 discarded, as of t=250ms
 //
 // Agents connect with cmd/tapsagent (or the netctl.Agent API), submit
-// tasks, and receive pre-allocated transmission slices.
+// tasks, and receive pre-allocated transmission slices. With -declog the
+// controller writes every decision to an append-only log before agents
+// hear of it, and a restarted controller pointed at the same log recovers
+// its plan state without re-contacting anyone. -replay works offline on
+// any such log (including one fetched from a live GET /declog).
 package main
 
 import (
@@ -36,8 +43,21 @@ func main() {
 		paths   = flag.Int("paths", 16, "candidate path cap")
 		httpAt  = flag.String("http", "", "serve GET /status, /metrics, /events and /healthz on this address (empty: off)")
 		eventsF = flag.String("events", "", "stream decision events as JSONL to this file")
+		declogF = flag.String("declog", "", "write-ahead decision log file (reopening an existing log recovers controller state)")
+		replayF = flag.String("replay", "", "offline mode: replay this decision log instead of serving")
+		untilF  = flag.Int64("until", 0, "replay: materialize state as of this virtual time in µs (0: end of log)")
+		whyF    = flag.String("why", "", "replay: explain this task's fate (task ID or \"rejected\")")
+		traceF  = flag.String("trace", "", "replay: write the reconstructed Chrome trace_event JSON here")
 	)
 	flag.Parse()
+
+	if *replayF != "" {
+		if err := runReplay(os.Stdout, *replayF, *untilF, *whyF, *traceF); err != nil {
+			fmt.Fprintln(os.Stderr, "tapsctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	g, r, err := buildTopology(*topo, *pods, *racks, *hosts, *k, *n)
 	if err != nil {
@@ -49,14 +69,34 @@ func main() {
 		MaxPaths: *paths,
 		Logf:     log.Printf,
 	})
+	var eventsFile *os.File
 	if *eventsF != "" {
-		f, err := os.Create(*eventsF)
+		eventsFile, err = os.Create(*eventsF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tapsctl:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		ctl.Recorder().AddSink(obs.JSONLSink(f))
+		ctl.Recorder().AddSink(obs.JSONLSink(eventsFile))
+	}
+	if *declogF != "" {
+		if err := ctl.EnableDecisionLog(*declogF); err != nil {
+			fmt.Fprintln(os.Stderr, "tapsctl:", err)
+			os.Exit(1)
+		}
+	}
+	// shutdown flushes everything durable: Close syncs and closes the
+	// decision log, and the events file is closed only after the
+	// controller (its last writer) is down. Called on both exit paths, so
+	// the SIGINT path cannot drop a buffered tail.
+	shutdown := func() {
+		if err := ctl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tapsctl:", err)
+		}
+		if eventsFile != nil {
+			if err := eventsFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tapsctl:", err)
+			}
+		}
 	}
 	// On interrupt, print the decision/latency digest before exiting.
 	go func() {
@@ -64,7 +104,7 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		fmt.Fprint(os.Stderr, ctl.Recorder().SummaryText(nil))
-		ctl.Close()
+		shutdown()
 		os.Exit(0)
 	}()
 	if *httpAt != "" {
@@ -77,7 +117,9 @@ func main() {
 	}
 	log.Printf("tapsctl: %s topology, %d hosts, listening on %s (speedup %gx)",
 		*topo, len(g.Hosts()), *listen, *speedup)
-	if err := ctl.Serve(*listen); err != nil {
+	err = ctl.Serve(*listen)
+	shutdown()
+	if err != nil {
 		log.Fatal(err)
 	}
 }

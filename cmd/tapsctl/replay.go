@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"taps/internal/obs/declog"
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+// runReplay is tapsctl's offline time-travel mode: it folds a decision
+// log (written by tapsctl -declog, tapsim -declog, or fetched from a live
+// controller's GET /declog) into the reconstructed span forest and plan
+// state — no controller, no agents, no topology file needed; the log's
+// Meta record carries the link names. untilUs > 0 materializes the world
+// as of that virtual instant instead of the end of the log.
+func runReplay(out io.Writer, path string, untilUs int64, whyArg, traceTo string) error {
+	recs, truncated, err := declog.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "tapsctl: %s: torn tail truncated (crash mid-write); replaying the valid prefix\n", path)
+	}
+	rp := declog.NewReplayer()
+	if untilUs > 0 {
+		rp.SetUntil(simtime.Time(untilUs))
+	}
+	rp.ApplyAll(recs)
+	tree := rp.Tree()
+	linkName := replayLinkNamer(rp.Meta())
+
+	if traceTo != "" {
+		f, err := os.Create(traceTo)
+		if err != nil {
+			return err
+		}
+		if err := span.WriteTraceEvents(f, tree, span.ExportOptions{LinkName: linkName}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# trace: %d tasks, %d flows, %d planning passes -> %s\n",
+			len(tree.Tasks), len(tree.Flows), len(tree.Replans), traceTo)
+	}
+	if whyArg != "" {
+		task, err := pickWhyTask(tree, whyArg)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, span.WhyText(tree, task, linkName))
+		return err
+	}
+	if traceTo == "" {
+		writeReplaySummary(out, path, rp, tree, untilUs)
+	}
+	return nil
+}
+
+func replayLinkNamer(m *declog.Meta) func(int32) string {
+	return func(l int32) string {
+		if m != nil && int(l) >= 0 && int(l) < len(m.LinkNames) {
+			return m.LinkNames[l]
+		}
+		return fmt.Sprintf("link %d", l)
+	}
+}
+
+// pickWhyTask resolves the -why argument: a task ID, or "rejected" for
+// the first discarded task of the log (preferring one whose attribution
+// chain names holders).
+func pickWhyTask(tree *span.Tree, arg string) (int64, error) {
+	if arg != "rejected" {
+		id, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("-why wants a task ID or \"rejected\": %w", err)
+		}
+		return id, nil
+	}
+	fallback := span.NoTask
+	for i := range tree.Tasks {
+		ts := &tree.Tasks[i]
+		if ts.Outcome != span.OutcomeRejected && ts.Outcome != span.OutcomePreempted {
+			continue
+		}
+		if fallback == span.NoTask {
+			fallback = ts.Task
+		}
+		for _, blk := range ts.Blocks {
+			if len(blk.Holders) > 0 {
+				return ts.Task, nil
+			}
+		}
+	}
+	if fallback == span.NoTask {
+		return 0, fmt.Errorf("-why rejected: the log holds no discarded task")
+	}
+	return fallback, nil
+}
+
+// writeReplaySummary prints the reconstructed world: decision totals from
+// the span forest plus the in-flight plan state at the replay instant.
+func writeReplaySummary(out io.Writer, path string, rp *declog.Replayer, tree *span.Tree, untilUs int64) {
+	source := "?"
+	if m := rp.Meta(); m != nil {
+		source = m.Source
+	}
+	at := "end of log"
+	if untilUs > 0 {
+		at = fmt.Sprintf("t=%.3fms", simtime.ToMillis(simtime.Time(untilUs)))
+	}
+	fmt.Fprintf(out, "## replay of %s (source %s, %d records applied, %s)\n",
+		path, source, rp.Applied(), at)
+	var completed, rejected, preempted, killed, running int
+	for i := range tree.Tasks {
+		switch tree.Tasks[i].Outcome {
+		case span.OutcomeCompleted:
+			completed++
+		case span.OutcomeRejected:
+			rejected++
+		case span.OutcomePreempted:
+			preempted++
+		case span.OutcomeKilled:
+			killed++
+		default:
+			running++
+		}
+	}
+	fmt.Fprintf(out, "tasks: %d seen — %d completed, %d rejected, %d preempted, %d killed, %d in flight\n",
+		len(tree.Tasks), completed, rejected, preempted, killed, running)
+	fmt.Fprintf(out, "flows: %d seen, %d planning passes, %d link failures\n",
+		len(tree.Flows), len(tree.Replans), len(tree.LinkDowns))
+
+	var accepted []int64
+	for t := range rp.TaskFlows() {
+		if rp.Accepted(t) {
+			accepted = append(accepted, t)
+		}
+	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+	pending := 0
+	for _, f := range rp.Flows() {
+		if !f.Done {
+			pending++
+		}
+	}
+	fmt.Fprintf(out, "plan state: %d tasks accepted %v, %d pending flows, %d links occupied\n",
+		len(accepted), accepted, pending, len(rp.Occupancy()))
+}

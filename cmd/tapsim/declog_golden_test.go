@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"taps/internal/experiments"
+	"taps/internal/obs/declog"
+	"taps/internal/obs/span"
+)
+
+// genBenchDeclog runs the deterministic bench-scale simulation with the
+// flight recorder on and returns the log bytes plus the live span tree.
+func genBenchDeclog(t *testing.T) ([]byte, *span.Tree) {
+	t.Helper()
+	scale, err := experiments.ScaleByName("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.dlg")
+	tree, _, err := spanRun(scale, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, tree
+}
+
+// TestDeclogGoldenBench pins the decision log's binary encoding end to
+// end: the bench-scale run is deterministic, so the log it writes must
+// match the checked-in fixture byte for byte. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/tapsim -run TestDeclogGoldenBench
+//
+// after an intentional change to the workload, the scheduler's decisions,
+// or the record encoding.
+func TestDeclogGoldenBench(t *testing.T) {
+	data, _ := genBenchDeclog(t)
+	golden := filepath.Join("testdata", "declog_bench.bin")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(data))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("decision log deviates from golden %s: got %d bytes, want %d — the run "+
+			"or the encoding changed; regenerate with UPDATE_GOLDEN=1 if intentional",
+			golden, len(data), len(want))
+	}
+}
+
+// TestReplayGoldenReconstructsGoldenTrace is the cross-golden acceptance
+// check: replaying the checked-in decision log must reconstruct the exact
+// span tree the live run recorded — so its trace_event export is
+// byte-identical to testdata/trace_bench.json, which was produced by a
+// live run. The log alone carries the whole causal history.
+func TestReplayGoldenReconstructsGoldenTrace(t *testing.T) {
+	recs, truncated, err := declog.ReadFile(filepath.Join("testdata", "declog_bench.bin"))
+	if err != nil {
+		t.Fatalf("read golden log (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if truncated {
+		t.Fatal("golden log has a torn tail")
+	}
+	rp := declog.NewReplayer()
+	rp.ApplyAll(recs)
+	m := rp.Meta()
+	if m == nil || m.Source != "tapsim" || len(m.LinkNames) == 0 {
+		t.Fatalf("golden log lacks a usable meta record: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := span.WriteTraceEvents(&buf, rp.Tree(), span.ExportOptions{
+		LinkName: func(l int32) string {
+			if int(l) < len(m.LinkNames) {
+				return m.LinkNames[l]
+			}
+			return "?"
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "trace_bench.json"))
+	if err != nil {
+		t.Fatalf("read golden trace: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("replayed trace deviates from the live-run golden: got %d bytes, want %d",
+			buf.Len(), len(want))
+	}
+}
+
+// TestReplayTreeMatchesLiveTree re-runs the bench simulation and requires
+// the replayed span tree to be field-identical to the live recorder's —
+// the structural form of the byte-level golden check above.
+func TestReplayTreeMatchesLiveTree(t *testing.T) {
+	data, live := genBenchDeclog(t)
+	recs, _, err := declog.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := declog.NewReplayer()
+	rp.ApplyAll(recs)
+	if !reflect.DeepEqual(rp.Tree(), live) {
+		t.Fatal("replayed span tree differs from the live recorder's snapshot")
+	}
+}

@@ -43,6 +43,7 @@ func main() {
 		verboseF  = flag.Bool("v", false, "stream decision events to stderr as they happen (implies -obs)")
 		traceF    = flag.String("trace", "", "run one TAPS simulation at the scale's §V-A point with causal span tracing and write Chrome trace_event JSON to this file (skips -fig)")
 		whyF      = flag.String("why", "", "run one TAPS simulation at the scale's §V-A point and explain this task's fate (a task ID, or \"rejected\" for the first discarded task; skips -fig)")
+		declogF   = flag.String("declog", "", "run one TAPS simulation at the scale's §V-A point and write the binary decision log (flight recording) to this file, for tapsctl -replay (skips -fig)")
 	)
 	flag.Parse()
 
@@ -91,10 +92,14 @@ func main() {
 		}
 	}
 
-	if *traceF != "" || *whyF != "" {
-		tree, g, err := spanRun(scale)
+	if *traceF != "" || *whyF != "" || *declogF != "" {
+		tree, g, err := spanRun(scale, *declogF)
 		if err != nil {
 			fatal(err)
+		}
+		if *declogF != "" {
+			fmt.Fprintf(out, "# declog: %d tasks, %d flows, %d planning passes -> %s\n",
+				len(tree.Tasks), len(tree.Flows), len(tree.Replans), *declogF)
 		}
 		if *traceF != "" {
 			f, err := os.Create(*traceF)

@@ -7,6 +7,7 @@ import (
 
 	"taps/internal/core"
 	"taps/internal/experiments"
+	"taps/internal/obs/declog"
 	"taps/internal/obs/span"
 	"taps/internal/sim"
 	"taps/internal/simtime"
@@ -16,9 +17,12 @@ import (
 
 // spanRun executes one TAPS simulation at the scale's §V-A point with
 // causal span recording (and transmission segments, so the trace carries
-// real transmissions, not just grants). The run is fully deterministic for
-// a given scale+seed — the golden-trace test depends on that.
-func spanRun(scale experiments.Scale) (*span.Tree, *topology.Graph, error) {
+// real transmissions, not just grants). When declogPath is non-empty the
+// run additionally writes the binary decision log there (the flight
+// recording `tapsctl -replay` consumes). The run is fully deterministic
+// for a given scale+seed — the golden-trace and golden-declog tests
+// depend on that.
+func spanRun(scale experiments.Scale, declogPath string) (*span.Tree, *topology.Graph, error) {
 	g, r := topology.SingleRootedTree(scale.Tree)
 	specs := workload.Generate(g, workload.Spec{
 		Tasks:            scale.Tasks,
@@ -26,13 +30,31 @@ func spanRun(scale experiments.Scale) (*span.Tree, *topology.Graph, error) {
 		ArrivalRate:      scale.ArrivalRate,
 		Seed:             scale.Seed,
 	})
+	var dl *declog.Writer
+	if declogPath != "" {
+		var err error
+		dl, err = declog.Create(declogPath, declog.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		names := make([]string, g.NumLinks())
+		for i := range names {
+			names[i] = g.Link(topology.LinkID(i)).Name
+		}
+		dl.Meta(declog.Meta{Source: "tapsim", LinkNames: names})
+	}
 	rec := span.NewRecorder()
 	sched := core.New(core.DefaultConfig())
 	sched.SetSpanRecorder(rec)
+	sched.SetDecisionLog(dl)
 	eng := sim.New(g, topology.NewCachedRouting(r), sched, specs, sim.Config{
-		RecordSegments: true, Spans: rec, MaxTime: simtime.Time(4e12),
+		RecordSegments: true, Spans: rec, DecLog: dl, MaxTime: simtime.Time(4e12),
 	})
 	if _, err := eng.Run(); err != nil {
+		dl.Close()
+		return nil, nil, err
+	}
+	if err := dl.Close(); err != nil {
 		return nil, nil, err
 	}
 	return rec.Snapshot(), g, nil

@@ -25,7 +25,7 @@ func TestTraceGoldenBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, g, err := spanRun(scale)
+	tree, g, err := spanRun(scale, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestWhyRejectedNamesHolders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, g, err := spanRun(scale)
+	tree, g, err := spanRun(scale, "")
 	if err != nil {
 		t.Fatal(err)
 	}

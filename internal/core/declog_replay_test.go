@@ -1,0 +1,207 @@
+package core
+
+// White-box replay-determinism property test: at EVERY plan-state commit
+// of a live run (the onCommit hook), the scheduler's slices/occupancy must
+// equal what the decision-log replayer reconstructs at the matching
+// KindCommit record — and the final replayed span tree must be
+// field-identical to the live recorder's snapshot. This is the log's
+// correctness contract: the flight recording alone is the world.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"taps/internal/obs/declog"
+	"taps/internal/obs/span"
+	"taps/internal/sim"
+	"taps/internal/simtime"
+	"taps/internal/topology"
+	"taps/internal/workload"
+)
+
+// planSnap is one normalized plan-state snapshot: empty sets are elided so
+// live and replayed maps compare equal regardless of which side kept a
+// zero-length calendar for a key.
+type planSnap struct {
+	slices map[int64][]simtime.Interval
+	occ    map[int32][]simtime.Interval
+}
+
+func snapIntervals(set simtime.IntervalSet) []simtime.Interval {
+	ivs := set.Intervals()
+	if len(ivs) == 0 {
+		return nil
+	}
+	return append([]simtime.Interval(nil), ivs...)
+}
+
+func snapScheduler(s *Scheduler) planSnap {
+	ps := planSnap{
+		slices: make(map[int64][]simtime.Interval),
+		occ:    make(map[int32][]simtime.Interval),
+	}
+	for id, set := range s.slices {
+		if ivs := snapIntervals(set); ivs != nil {
+			ps.slices[int64(id)] = ivs
+		}
+	}
+	for l, set := range s.occ {
+		if ivs := snapIntervals(set); ivs != nil {
+			ps.occ[int32(l)] = ivs
+		}
+	}
+	return ps
+}
+
+func snapReplayer(rp *declog.Replayer) planSnap {
+	ps := planSnap{
+		slices: make(map[int64][]simtime.Interval),
+		occ:    make(map[int32][]simtime.Interval),
+	}
+	for id, set := range rp.Slices() {
+		if ivs := snapIntervals(set); ivs != nil {
+			ps.slices[id] = ivs
+		}
+	}
+	for l, set := range rp.Occupancy() {
+		if ivs := snapIntervals(set); ivs != nil {
+			ps.occ[l] = ivs
+		}
+	}
+	return ps
+}
+
+// replayScenario is the contended Fig. 6/7-style workload: short deadlines
+// on a small tree force rejections (and preemptions), so the log carries
+// every decision kind.
+func replayScenario() (*topology.Graph, topology.Routing, []sim.TaskSpec) {
+	g, r := topology.SingleRootedTree(topology.SingleRootedTreeSpec{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 3, LinkCapacity: topology.Gbps(1),
+	})
+	specs := workload.Generate(g, workload.Spec{
+		Tasks: 16, MeanFlowsPerTask: 6, ArrivalRate: 400,
+		MeanDeadline: 4 * simtime.Millisecond, MeanFlowSize: 256 * 1024,
+		Seed: 7,
+	})
+	return g, topology.NewCachedRouting(r), specs
+}
+
+// checkReplayDeterminism runs one live simulation writing a decision log,
+// snapshotting plan state at every commit, then replays the log and
+// requires bit-identical state at every matching commit record.
+func checkReplayDeterminism(t *testing.T, cfg Config, failures []sim.LinkFailure) {
+	t.Helper()
+	g, r, specs := replayScenario()
+	path := filepath.Join(t.TempDir(), "run.dlg")
+	dl, err := declog.Create(path, declog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(cfg)
+	rec := span.NewRecorder()
+	sched.SetSpanRecorder(rec)
+	sched.SetDecisionLog(dl)
+	var live []planSnap
+	sched.onCommit = func(st *sim.State) { live = append(live, snapScheduler(sched)) }
+	eng := sim.New(g, r, sched, specs, sim.Config{
+		RecordSegments: true, Spans: rec, DecLog: dl, LinkFailures: failures,
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("run committed no plan state; property untested")
+	}
+
+	recs, truncated, err := declog.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("cleanly closed log reports a torn tail")
+	}
+	rp := declog.NewReplayer()
+	commits := 0
+	for i := range recs {
+		rp.Apply(&recs[i])
+		if recs[i].Kind != declog.KindCommit {
+			continue
+		}
+		if commits >= len(live) {
+			t.Fatalf("log has more commit records than live commits (%d)", len(live))
+		}
+		if got, want := snapReplayer(rp), live[commits]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("commit %d (%s at t=%d): replayed plan state diverged\n got %+v\nwant %+v",
+				commits, recs[i].Mode, recs[i].Time, got, want)
+		}
+		commits++
+	}
+	if commits != len(live) {
+		t.Fatalf("log carries %d commits, live run made %d", commits, len(live))
+	}
+	if !reflect.DeepEqual(rp.Tree(), rec.Snapshot()) {
+		t.Fatal("replayed span tree differs from the live recorder's snapshot")
+	}
+}
+
+func TestReplayMatchesLiveStateAtEveryCommit(t *testing.T) {
+	checkReplayDeterminism(t, DefaultConfig(), nil)
+}
+
+func TestReplayMatchesLiveStateFastAdmission(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FastAdmission = true
+	checkReplayDeterminism(t, cfg, nil)
+}
+
+func TestReplayMatchesLiveStateWithLinkFailure(t *testing.T) {
+	checkReplayDeterminism(t, DefaultConfig(), []sim.LinkFailure{
+		{At: 2 * simtime.Millisecond, Link: 0},
+		{At: 5 * simtime.Millisecond, Link: 3},
+	})
+}
+
+// TestReplayUntilIsPrefixConsistent checks the time-travel cutoff: replaying
+// with -until T must equal replaying only the records stamped <= T (for the
+// plan state, which ignores the segment bulk import).
+func TestReplayUntilIsPrefixConsistent(t *testing.T) {
+	g, r, specs := replayScenario()
+	path := filepath.Join(t.TempDir(), "run.dlg")
+	dl, err := declog.Create(path, declog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(DefaultConfig())
+	sched.SetDecisionLog(dl)
+	eng := sim.New(g, r, sched, specs, sim.Config{DecLog: dl})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := declog.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := recs[len(recs)/2].Time
+	until := declog.NewReplayer()
+	until.SetUntil(cutoff)
+	until.ApplyAll(recs)
+	prefix := declog.NewReplayer()
+	for i := range recs {
+		if recs[i].Time <= cutoff {
+			prefix.Apply(&recs[i])
+		}
+	}
+	if !reflect.DeepEqual(snapReplayer(until), snapReplayer(prefix)) {
+		t.Fatal("-until replay differs from replaying the literal record prefix")
+	}
+	if !reflect.DeepEqual(until.AcceptedSet(), prefix.AcceptedSet()) {
+		t.Fatal("-until accepted set differs from the literal record prefix")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"taps/internal/obs"
+	"taps/internal/obs/declog"
 	"taps/internal/obs/span"
 	"taps/internal/sched"
 	"taps/internal/sim"
@@ -138,6 +139,17 @@ type Scheduler struct {
 	// keeps the hot path allocation-free — every span construction below
 	// is guarded behind it.
 	spans *span.Recorder
+
+	// declog, when non-nil, appends every decision to the durable flight
+	// recorder: planning passes, commit markers (with their merge
+	// semantics), admits, rejects, preemptions, attribution chains. The
+	// log alone reconstructs this scheduler's slices/occ plan state.
+	declog *declog.Writer
+
+	// onCommit, when non-nil, fires after every plan-state installation
+	// (full commit or fast-admission merge). Test hook for the replay
+	// determinism property.
+	onCommit func(st *sim.State)
 }
 
 // flowRateState is one Rates-cache entry: while now < validUntil the flow
@@ -199,6 +211,13 @@ func (s *Scheduler) SetRecorder(r *obs.Recorder) { s.obs = r }
 // default) disables recording with zero cost on the planning path.
 func (s *Scheduler) SetSpanRecorder(r *span.Recorder) { s.spans = r }
 
+// SetDecisionLog attaches the durable decision log (flight recorder):
+// every planning pass, commit, admit, reject and preemption is appended as
+// a CRC-framed record, from which a Replayer reconstructs the plan state
+// bit-identically. A nil writer (the default) disables logging with zero
+// cost on the planning path.
+func (s *Scheduler) SetDecisionLog(w *declog.Writer) { s.declog = w }
+
 // Slices returns the planned transmission slices of a flow (for tests and
 // the SDN control plane, which ships them to senders).
 func (s *Scheduler) Slices(id sim.FlowID) simtime.IntervalSet { return s.slices[id] }
@@ -240,7 +259,7 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKi
 	}
 	var t0 time.Time
 	var p0 int64
-	if s.obs != nil || s.spans != nil {
+	if s.obs != nil || s.spans != nil || s.declog != nil {
 		p0 = s.planner.PathsTried()
 	}
 	if s.obs != nil {
@@ -258,12 +277,14 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKi
 			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 		})
 	}
-	if s.spans != nil {
-		s.spans.Replan(span.ReplanSpan{
+	if s.spans != nil || s.declog != nil {
+		rs := span.ReplanSpan{
 			Time: st.Now(), Kind: kind, Trigger: trigger,
 			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
 			Plans: spanPlans(flows, entries),
-		})
+		}
+		s.spans.Replan(rs)
+		s.declog.Replan(st.Now(), rs)
 	}
 	a := &allocation{
 		slices: make(map[sim.FlowID]simtime.IntervalSet, len(flows)),
@@ -321,6 +342,7 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 		return
 	}
 	if s.cfg.FastAdmission && s.admitIncrementally(st, task) {
+		s.declog.Admit(st.Now(), int64(task.ID), true)
 		if s.obs != nil {
 			s.obs.Record(obs.Event{Time: st.Now(), Kind: obs.KindTaskAdmitted,
 				Task: int64(task.ID), Reason: "fast-admission"})
@@ -338,22 +360,32 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 		if !ok {
 			// The new task is discarded; re-plan without it.
 			accepted = false
-			if s.spans != nil {
-				s.spans.Attribute(int64(task.ID), s.buildAttribution(st, task.ID, plan))
+			if s.spans != nil || s.declog != nil {
+				blocks := s.buildAttribution(st, task.ID, plan)
+				s.spans.Attribute(int64(task.ID), blocks)
+				s.declog.Attribute(st.Now(), int64(task.ID), blocks)
 			}
+			s.declog.Reject(st.Now(), int64(task.ID), "taps: task discarded by reject rule")
 			s.discardTask(st, task.ID, false)
 			plan = s.replanActive(st, span.ReplanPostReject, int64(task.ID))
 		} else if victim >= 0 {
 			// An existing task is preempted in favor of the newcomer.
-			if s.spans != nil {
+			if s.spans != nil || s.declog != nil {
 				s.spans.PreemptedBy(int64(victim), int64(task.ID))
-				s.spans.Attribute(int64(victim), s.buildAttribution(st, victim, plan))
+				s.declog.Preempt(st.Now(), int64(victim), int64(task.ID),
+					st.TaskCompletionFraction(victim), "taps: task preempted by reject rule")
+				blocks := s.buildAttribution(st, victim, plan)
+				s.spans.Attribute(int64(victim), blocks)
+				s.declog.Attribute(st.Now(), int64(victim), blocks)
 			}
 			s.discardTask(st, victim, true)
 			plan = s.replanActive(st, span.ReplanPostPreempt, int64(victim))
 		}
 	}
 	s.commit(st, plan)
+	if accepted {
+		s.declog.Admit(st.Now(), int64(task.ID), false)
+	}
 	if accepted && s.obs != nil {
 		s.obs.Record(obs.Event{Time: st.Now(), Kind: obs.KindTaskAdmitted,
 			Task: int64(task.ID)})
@@ -414,12 +446,14 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 			Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 		})
 	}
-	if s.spans != nil {
-		s.spans.Replan(span.ReplanSpan{
+	if s.spans != nil || s.declog != nil {
+		rs := span.ReplanSpan{
 			Time: st.Now(), Kind: span.ReplanFastAdmit, Trigger: int64(task.ID),
 			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
 			Plans: spanPlans(flows, entries),
-		})
+		}
+		s.spans.Replan(rs)
+		s.declog.Replan(st.Now(), rs)
 	}
 	now := st.Now()
 	g := st.Graph()
@@ -436,6 +470,10 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 	for l, set := range touched {
 		set.GCBefore(now)
 		s.occ[l] = set
+	}
+	s.declog.Commit(now, declog.CommitMerge)
+	if s.onCommit != nil {
+		s.onCommit(st)
 	}
 	return true
 }
@@ -497,6 +535,10 @@ func (s *Scheduler) commit(st *sim.State, plan *allocation) {
 		st.Flow(id).Path = p
 		c := s.cacheEntry(id)
 		c.lrGen, c.linerate = s.gen, g.MinCapacity(p)
+	}
+	s.declog.Commit(now, declog.CommitReplace)
+	if s.onCommit != nil {
+		s.onCommit(st)
 	}
 }
 

@@ -38,6 +38,7 @@ var MapOrder = &Analyzer{
 		"taps/internal/experiments",
 		"taps/internal/workload",
 		"taps/internal/metrics",
+		"taps/internal/obs/declog",
 	),
 	Run: runMapOrder,
 }

@@ -26,6 +26,7 @@ var Wallclock = &Analyzer{
 		"taps/internal/experiments",
 		"taps/internal/workload",
 		"taps/internal/netctl",
+		"taps/internal/obs/declog",
 	),
 	Run: runWallclock,
 }

@@ -9,6 +9,7 @@ import (
 
 	"taps/internal/core"
 	"taps/internal/obs"
+	"taps/internal/obs/declog"
 	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -77,6 +78,7 @@ type Controller struct {
 	epoch   time.Time
 	obs     *obs.Recorder
 	spans   *span.Recorder
+	declog  *declog.Writer
 
 	mu        sync.Mutex
 	agents    map[*codec]HelloMsg
@@ -85,9 +87,11 @@ type Controller struct {
 	accepted  map[int64]bool
 	decided   map[int64]bool
 
-	listener net.Listener
-	wg       sync.WaitGroup
-	closed   chan struct{}
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewController builds a controller for the topology.
@@ -114,6 +118,89 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 // decision events, planner latency, and the data behind /metrics and
 // /events. Attach sinks (obs.JSONLSink) before Serve.
 func (c *Controller) Recorder() *obs.Recorder { return c.obs }
+
+// DecisionLog returns the attached decision-log writer (nil unless
+// EnableDecisionLog was called).
+func (c *Controller) DecisionLog() *declog.Writer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.declog
+}
+
+// EnableDecisionLog makes path the controller's durable flight recorder
+// and, when the file already holds records, recovers the controller's
+// world from it: the span forest, the in-flight flow table with paths and
+// slice grants, the accepted/decided ledgers, and the virtual-clock epoch
+// and speedup of the run that wrote the log — all without re-contacting
+// agents. A torn tail left by a crash mid-append is truncated away (and
+// counted on /metrics). Call before Serve.
+func (c *Controller) EnableDecisionLog(path string) error {
+	w, recs, err := declog.OpenAppend(path, declog.Options{Health: c.obs})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.declog = w
+	if len(recs) == 0 {
+		names := make([]string, c.graph.NumLinks())
+		for i := range names {
+			names[i] = c.graph.Link(topology.LinkID(i)).Name
+		}
+		w.Meta(declog.Meta{
+			Source:        "netctl",
+			EpochUnixNano: c.epoch.UnixNano(),
+			Speedup:       c.cfg.Speedup,
+			LinkNames:     names,
+		})
+		return w.Sync()
+	}
+	rp := declog.NewReplayer()
+	rp.ApplyAll(recs)
+	if m := rp.Meta(); m != nil {
+		if m.EpochUnixNano != 0 {
+			// Resume the previous run's virtual clock: scaled time since
+			// the original epoch keeps ticking monotonically across the
+			// restart instead of restarting from zero.
+			c.epoch = time.Unix(0, m.EpochUnixNano)
+		}
+		if m.Speedup > 0 {
+			c.cfg.Speedup = m.Speedup
+		}
+	}
+	c.spans = rp.Spans()
+	c.flows = make(map[uint64]*ctlFlow, len(rp.Flows()))
+	c.taskFlows = make(map[int64][]uint64, len(rp.TaskFlows()))
+	for id, fs := range rp.Flows() {
+		cf := &ctlFlow{
+			id: uint64(id), task: fs.Task,
+			src: topology.NodeID(fs.Src), dst: topology.NodeID(fs.Dst),
+			size: fs.Size, deadline: fs.Deadline, done: fs.Done,
+		}
+		if len(fs.Path) > 0 {
+			p := make(topology.Path, len(fs.Path))
+			for i, l := range fs.Path {
+				p[i] = topology.LinkID(l)
+			}
+			cf.path = p
+			cf.slices = fs.Slices
+			cf.rate = c.graph.MinCapacity(p)
+		}
+		c.flows[cf.id] = cf
+	}
+	for t, fids := range rp.TaskFlows() {
+		out := make([]uint64, len(fids))
+		for i, f := range fids {
+			out[i] = uint64(f)
+		}
+		c.taskFlows[t] = out
+	}
+	c.accepted = rp.AcceptedSet()
+	c.decided = rp.DecidedSet()
+	c.cfg.Logf("netctl: recovered %d records from %s: %d flows, %d tasks in flight",
+		len(recs), path, len(c.flows), len(c.taskFlows))
+	return nil
+}
 
 // now is the current virtual time.
 func (c *Controller) now() simtime.Time {
@@ -164,21 +251,30 @@ func (c *Controller) Addr() string {
 	return c.listener.Addr().String()
 }
 
-// Close stops the listener and drops all agents.
+// Close stops the listener, drops all agents, and flushes the decision
+// log so every appended record is durable. Idempotent: later calls return
+// the first call's error.
 func (c *Controller) Close() error {
-	close(c.closed)
-	c.mu.Lock()
-	l := c.listener
-	for cd := range c.agents {
-		cd.close()
-	}
-	c.mu.Unlock()
-	var err error
-	if l != nil {
-		err = l.Close()
-	}
-	c.wg.Wait()
-	return err
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		l := c.listener
+		w := c.declog
+		for cd := range c.agents {
+			cd.close()
+		}
+		c.mu.Unlock()
+		var err error
+		if l != nil {
+			err = l.Close()
+		}
+		c.wg.Wait()
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		c.closeErr = err
+	})
+	return c.closeErr
 }
 
 // handle runs one agent connection to completion.
@@ -233,6 +329,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// Duplicate probe (agent retry): replan and re-broadcast.
 		if c.accepted[p.Task] {
 			c.replanLocked(span.ReplanArrival, p.Task)
+			c.declog.Sync()
 			c.broadcastGrantsLocked()
 		} else {
 			c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "already rejected"}})
@@ -244,6 +341,10 @@ func (c *Controller) onProbe(p ProbeMsg) {
 	c.spans.TaskArrived(p.Task, now, p.Deadline)
 
 	// Tentative: all in-flight flows plus the new task's.
+	var infos []declog.FlowInfo
+	if c.declog != nil {
+		infos = make([]declog.FlowInfo, 0, len(p.Flows))
+	}
 	for _, fi := range p.Flows {
 		c.flows[fi.ID] = &ctlFlow{
 			id: fi.ID, task: p.Task, src: fi.Src, dst: fi.Dst,
@@ -252,22 +353,33 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.taskFlows[p.Task] = append(c.taskFlows[p.Task], fi.ID)
 		label := c.graph.Node(fi.Src).Name + "->" + c.graph.Node(fi.Dst).Name
 		c.spans.FlowArrived(int64(fi.ID), p.Task, now, p.Deadline, label)
+		if c.declog != nil {
+			infos = append(infos, declog.FlowInfo{ID: int64(fi.ID),
+				Src: int32(fi.Src), Dst: int32(fi.Dst), Size: fi.Size, Label: label})
+		}
 	}
+	c.declog.TaskArrived(now, p.Task, p.Deadline, infos)
 	missed := c.planLocked(now, span.ReplanArrival, p.Task)
 	decision, victim := core.EvaluateRejectRule(missed, p.Task, c.fractionLocked(now), c.cfg.NoPreemption)
 	switch decision {
 	case core.RejectNew:
 		// Attribution reads the doomed task's flows and the tentative
 		// plan's occupancy, so it must precede the drop.
-		c.spans.Attribute(p.Task, c.attributionLocked(p.Task, now))
+		blocks := c.attributionLocked(p.Task, now)
+		c.spans.Attribute(p.Task, blocks)
+		c.declog.Attribute(now, p.Task, blocks)
 		c.spans.TaskEnded(p.Task, now, span.OutcomeRejected, "reject rule")
+		c.declog.TaskEnded(now, p.Task, span.OutcomeRejected, "reject rule")
 		for _, fid := range c.taskFlows[p.Task] {
 			c.spans.FlowEnded(int64(fid), now, false, false, "task rejected")
+			c.declog.FlowEnded(now, int64(fid), false, false, "task rejected")
 		}
+		c.declog.Reject(now, p.Task, "reject rule")
 		c.dropTaskLocked(p.Task)
 		c.replanLocked(span.ReplanPostReject, p.Task)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskRejected,
 			Task: p.Task, Reason: "reject rule"})
+		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d rejected", p.Task)
@@ -275,12 +387,18 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// The victim's completion fraction must be read before its flows
 		// are dropped (dropTaskLocked deletes them, which reads as 100%).
 		frac := c.fractionLocked(now)(victim)
-		c.spans.Attribute(victim, c.attributionLocked(victim, now))
+		blocks := c.attributionLocked(victim, now)
+		c.spans.Attribute(victim, blocks)
+		c.declog.Attribute(now, victim, blocks)
 		c.spans.TaskEnded(victim, now, span.OutcomePreempted,
 			fmt.Sprintf("preempted by task %d", p.Task))
+		c.declog.TaskEnded(now, victim, span.OutcomePreempted,
+			fmt.Sprintf("preempted by task %d", p.Task))
 		c.spans.PreemptedBy(victim, p.Task)
+		c.declog.Preempt(now, victim, p.Task, frac, "preempted")
 		for _, fid := range c.taskFlows[victim] {
 			c.spans.FlowEnded(int64(fid), now, false, false, "task preempted")
+			c.declog.FlowEnded(now, int64(fid), false, false, "task preempted")
 		}
 		c.dropTaskLocked(victim)
 		c.accepted[p.Task] = true
@@ -288,12 +406,15 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskPreempted,
 			Task: victim, Fraction: frac, Reason: "preempted"})
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
+		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: victim, Reason: "preempted"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted, task %d preempted", p.Task, victim)
 	default:
 		c.accepted[p.Task] = true
+		c.declog.Admit(now, p.Task, false)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
+		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted", p.Task)
 	}
@@ -350,16 +471,18 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 		PathsTried: c.planner.PathsTried() - p0,
 		Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
 	})
-	if c.spans.Enabled() {
+	if c.spans.Enabled() || c.declog != nil {
 		planned := make([]*ctlFlow, len(items))
 		for i, it := range items {
 			planned[i] = it.f
 		}
-		c.spans.Replan(span.ReplanSpan{
+		rs := span.ReplanSpan{
 			Time: now, Kind: kind, Trigger: trigger, Flows: len(reqs),
 			PathsTried: c.planner.PathsTried() - p0,
 			Plans:      planSpans(planned, entries),
-		})
+		}
+		c.spans.Replan(rs)
+		c.declog.Replan(now, rs)
 	}
 	missed := make(map[int64]bool)
 	for i, e := range entries {
@@ -372,6 +495,9 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 		f.slices = e.Slices
 		f.rate = c.graph.MinCapacity(e.Path)
 	}
+	// The pass is now installed: flows whose plan met the deadline took
+	// the new path and slices, missed flows kept their previous grant.
+	c.declog.Commit(now, declog.CommitUpdate)
 	return missed
 }
 
@@ -452,12 +578,14 @@ func (c *Controller) onTerm(t TermMsg) {
 	f.done = true
 	now := c.now()
 	c.spans.FlowEnded(int64(f.id), now, true, now <= f.deadline, "")
+	c.declog.FlowEnded(now, int64(f.id), true, now <= f.deadline, "")
 	for _, fid := range c.taskFlows[f.task] {
 		if g, ok := c.flows[fid]; !ok || !g.done {
 			return
 		}
 	}
 	c.spans.TaskEnded(f.task, now, span.OutcomeCompleted, "")
+	c.declog.TaskEnded(now, f.task, span.OutcomeCompleted, "")
 }
 
 // Snapshot is introspection for tests and operators.

@@ -3,8 +3,10 @@ package netctl
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sort"
 	"strconv"
 
@@ -104,6 +106,10 @@ type EventsPage struct {
 //	                        tree (open in Perfetto / chrome://tracing)
 //	GET /why?task=N      -> plain-text causal explanation of task N's
 //	                        fate (attribution chain for rejections)
+//	GET /declog?off=N    -> the binary decision log from byte offset N
+//	                        (fsynced first, so the tail is complete;
+//	                        404 unless EnableDecisionLog was called).
+//	                        Feed it to `tapsctl -replay` for time travel.
 //	GET /debug/vars      -> expvar JSON
 //	GET /debug/pprof/    -> runtime profiles
 //
@@ -176,6 +182,38 @@ func (c *Controller) HTTPHandler() http.Handler {
 		linkName := func(l int32) string { return c.graph.Link(topology.LinkID(l)).Name }
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(span.WhyText(c.spans.Snapshot(), task, linkName)))
+	})
+	mux.HandleFunc("GET /declog", func(w http.ResponseWriter, r *http.Request) {
+		dl := c.DecisionLog()
+		if dl == nil {
+			http.Error(w, "decision log not enabled", http.StatusNotFound)
+			return
+		}
+		off, err := parseUintParam(r.URL.Query().Get("off"), 0)
+		if err != nil {
+			http.Error(w, "bad off: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Flush buffered records so the served tail is complete up to the
+		// latest decision.
+		if err := dl.Sync(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		f, err := os.Open(dl.Path())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer f.Close()
+		if off > 0 {
+			if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.Copy(w, f)
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,0 +1,285 @@
+package declog
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"taps/internal/obs"
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+// sampleRecords exercises every record kind with non-trivial payloads:
+// negative IDs, nil-vs-empty paths, empty strings, multi-element nesting.
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindMeta, Meta: &Meta{
+			Source: "test", EpochUnixNano: 1700000000123456789, Speedup: 12.5,
+			LinkNames: []string{"h0-t0", "t0-a0", ""},
+		}},
+		{Kind: KindTask, Time: 100, Task: 7, Deadline: 5000, Flows: []FlowInfo{
+			{ID: 70, Src: 3, Dst: 17, Size: 1 << 30, Label: "h3->h17"},
+			{ID: 71, Src: 4, Dst: 18, Size: 0, Label: ""},
+		}},
+		{Kind: KindReplan, Time: 100, Replan: &span.ReplanSpan{
+			Time: 100, Kind: span.ReplanArrival, Trigger: 7, Flows: 2, PathsTried: 9,
+			Plans: []span.PlanSpan{
+				{Flow: 70, Task: 7, Candidates: 4, PathIndex: 1,
+					Path:   []int32{0, 5, 9},
+					Slices: []simtime.Interval{{Start: 100, End: 400}, {Start: 900, End: 1000}},
+					Finish: 1000, Deadline: 5000},
+				{Flow: 71, Task: 7, Candidates: 3, PathIndex: -1,
+					Finish: simtime.Infinity, Deadline: 5000, Missed: true},
+				{Flow: 72, Task: 7, Candidates: 1, PathIndex: 0,
+					Path: []int32{}, Slices: []simtime.Interval{}, Finish: 200, Deadline: 5000},
+			},
+		}},
+		{Kind: KindAdmit, Time: 101, Task: 7, Fast: true},
+		{Kind: KindReject, Time: 205, Task: 8, Reason: "taps: task discarded by reject rule"},
+		{Kind: KindPreempt, Time: 300, Task: 7, By: 9, Fraction: 0.375, Reason: "preempted"},
+		{Kind: KindAttr, Time: 300, Task: 7, Blocks: []span.LinkBlock{
+			{Link: 5, Window: simtime.Interval{Start: 300, End: 5000}, Busy: 4100,
+				Holders: []span.Holder{{Task: 9, Busy: 4000}, {Task: 2, Busy: 100}}},
+			{Link: 9, Window: simtime.Interval{Start: 300, End: 5000}, Busy: 0},
+		}},
+		{Kind: KindTaskEnd, Time: 300, Task: 7, Outcome: span.OutcomePreempted, Reason: "preempted by task 9"},
+		{Kind: KindFlowEnd, Time: 990, Flow: 70, Done: true, OnTime: true},
+		{Kind: KindSegments, Time: 990, Flow: 70, Segments: []span.Segment{
+			{Interval: simtime.Interval{Start: 100, End: 400}, Rate: 125},
+			{Interval: simtime.Interval{Start: 900, End: 990}, Rate: 62.5},
+		}},
+		{Kind: KindLinkDown, Time: 1500, Link: 9},
+		{Kind: KindCommit, Time: 1500, Mode: CommitUpdate},
+	}
+}
+
+func writeSample(t *testing.T, path string, opts Options) []Record {
+	t.Helper()
+	w, err := Create(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for i := range want {
+		if err := w.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.dlg")
+	want := writeSample(t, path, Options{})
+	got, truncated, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d (%s):\n got %+v\nwant %+v", i, want[i].Kind, got[i], want[i])
+		}
+	}
+	// The nil-vs-empty Path distinction must survive the trip: plan 1 was
+	// unroutable (nil), plan 2 routed over an empty path.
+	plans := got[2].Replan.Plans
+	if plans[1].Path != nil {
+		t.Errorf("unroutable plan decoded with non-nil path %v", plans[1].Path)
+	}
+	if plans[2].Path == nil {
+		t.Errorf("routed empty path decoded as nil")
+	}
+}
+
+func TestTornTailDetectionAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.dlg")
+	want := writeSample(t, path, Options{})
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial frame: header + half a payload.
+	torn := append(append([]byte{}, clean...), 0xFF, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0x01, 0x02)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("torn log decoded %d records, want the %d valid ones", len(got), len(want))
+	}
+
+	// OpenAppend physically truncates the tail, counts it, and appends
+	// cleanly after the last valid frame.
+	health := obs.NewRecorder(obs.Options{})
+	w, recovered, err := OpenAppend(path, Options{Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(want) {
+		t.Fatalf("OpenAppend recovered %d records, want %d", len(recovered), len(want))
+	}
+	if ds := health.DeclogStats(); ds.Truncations != 1 {
+		t.Fatalf("truncations counter = %d, want 1", ds.Truncations)
+	}
+	w.LinkDown(2000, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("recovered log still reports a torn tail")
+	}
+	if len(got) != len(want)+1 {
+		t.Fatalf("after recovery+append decoded %d records, want %d", len(got), len(want)+1)
+	}
+	last := got[len(got)-1]
+	if last.Kind != KindLinkDown || last.Link != 3 || last.Time != 2000 {
+		t.Fatalf("appended record mangled: %+v", last)
+	}
+}
+
+func TestCRCCorruptionStopsAtBadFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.dlg")
+	want := writeSample(t, path, Options{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle of the file: every frame before
+	// it must survive, everything from it on is the torn tail.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("corruption not reported")
+	}
+	if len(got) >= len(want) {
+		t.Fatalf("decoded %d records from a mid-file corruption, want fewer than %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("pre-corruption record %d damaged:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBadMagicIsHardError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.dlg")
+	if err := os.WriteFile(path, []byte("definitely not a decision log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err == nil {
+		t.Fatal("ReadFile accepted a non-log file")
+	}
+	if _, _, err := OpenAppend(path, Options{}); err == nil {
+		t.Fatal("OpenAppend accepted a non-log file")
+	}
+}
+
+func TestOpenAppendFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.dlg")
+	w, recovered, err := OpenAppend(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recovered))
+	}
+	w.Meta(Meta{Source: "fresh"})
+	w.Admit(10, 1, false)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadFile(path)
+	if err != nil || truncated {
+		t.Fatalf("reread: err=%v truncated=%v", err, truncated)
+	}
+	if len(got) != 2 || got[0].Meta.Source != "fresh" || got[1].Task != 1 {
+		t.Fatalf("unexpected records %+v", got)
+	}
+}
+
+func TestHealthCountersAndSyncBatching(t *testing.T) {
+	health := obs.NewRecorder(obs.Options{})
+	path := filepath.Join(t.TempDir(), "log.dlg")
+	w, err := Create(path, Options{SyncEvery: 2, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.Admit(simtime.Time(i), int64(i), false)
+	}
+	ds := health.DeclogStats()
+	if ds.Records != 5 {
+		t.Fatalf("records counter = %d, want 5", ds.Records)
+	}
+	if ds.Bytes == 0 {
+		t.Fatal("bytes counter stayed zero")
+	}
+	// SyncEvery=2 over 5 appends fires the batched fsync twice; Close
+	// flushes the odd record out for a third.
+	if n := health.DeclogSyncLatency().Count(); n != 2 {
+		t.Fatalf("fsync count after 5 appends = %d, want 2", n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := health.DeclogSyncLatency().Count(); n != 3 {
+		t.Fatalf("fsync count after close = %d, want 3", n)
+	}
+}
+
+func TestNilWriterIsInert(t *testing.T) {
+	var w *Writer
+	w.Meta(Meta{})
+	w.TaskArrived(0, 1, 2, nil)
+	w.Replan(0, span.ReplanSpan{})
+	w.Admit(0, 1, false)
+	w.Reject(0, 1, "")
+	w.Preempt(0, 1, 2, 0, "")
+	w.Attribute(0, 1, nil)
+	w.TaskEnded(0, 1, span.OutcomeCompleted, "")
+	w.FlowEnded(0, 1, true, true, "")
+	w.Segments(0, 1, nil)
+	w.LinkDown(0, 1)
+	w.Commit(0, CommitReplace)
+	if err := w.Append(&Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Path() != "" || w.Err() != nil {
+		t.Fatal("nil writer leaked state")
+	}
+}

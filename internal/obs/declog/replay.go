@@ -1,0 +1,276 @@
+package declog
+
+import (
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+// FlowState is the replayer's mirror of one in-flight flow: identity from
+// its KindTask record, route and grant from the latest committed plan.
+type FlowState struct {
+	Flow     int64
+	Task     int64
+	Src      int32
+	Dst      int32
+	Size     int64
+	Label    string
+	Deadline simtime.Time
+	Path     []int32
+	Slices   simtime.IntervalSet
+	Done     bool
+}
+
+// Replayer reconstructs controller state by folding decision records in
+// log order. It maintains two views simultaneously:
+//
+//   - the span forest: records are fed into a fresh span.Recorder in the
+//     same call order the live run used, so Tree() is field-identical to
+//     the live recorder's snapshot (and a trace export is byte-identical);
+//   - the plan state: per-flow slice grants, per-link occupancy, and the
+//     in-flight flow table, rebuilt by applying each KindCommit with its
+//     recorded mode semantics — exactly the mutation the live scheduler
+//     performed.
+//
+// SetUntil turns the replayer into a time-travel query: records stamped
+// after the cutoff are ignored (segments are clipped), materializing the
+// world as of that simulated instant.
+type Replayer struct {
+	spans      *span.Recorder
+	meta       *Meta
+	slices     map[int64]simtime.IntervalSet
+	occ        map[int32]simtime.IntervalSet
+	flows      map[int64]*FlowState
+	taskFlows  map[int64][]int64
+	accepted   map[int64]bool
+	decided    map[int64]bool
+	lastReplan *span.ReplanSpan
+	until      simtime.Time
+	hasUntil   bool
+	applied    int
+}
+
+// NewReplayer returns an empty replayer.
+func NewReplayer() *Replayer {
+	return &Replayer{
+		spans:     span.NewRecorder(),
+		slices:    make(map[int64]simtime.IntervalSet),
+		occ:       make(map[int32]simtime.IntervalSet),
+		flows:     make(map[int64]*FlowState),
+		taskFlows: make(map[int64][]int64),
+		accepted:  make(map[int64]bool),
+		decided:   make(map[int64]bool),
+	}
+}
+
+// SetUntil caps replay at simulated instant t: records stamped later are
+// skipped and transmission segments are clipped to t. Set it before
+// applying records.
+func (r *Replayer) SetUntil(t simtime.Time) {
+	r.until = t
+	r.hasUntil = true
+}
+
+// ApplyAll folds a decoded log.
+func (r *Replayer) ApplyAll(recs []Record) {
+	for i := range recs {
+		r.Apply(&recs[i])
+	}
+}
+
+// Apply folds one record.
+func (r *Replayer) Apply(rec *Record) {
+	if r.hasUntil && rec.Time > r.until {
+		// Past the cutoff. Segment records are the one exception: they are
+		// bulk-imported at end-of-run but describe transmission all the way
+		// back to arrival, so they are applied clipped instead of dropped.
+		if rec.Kind != KindSegments {
+			return
+		}
+	}
+	r.applied++
+	switch rec.Kind {
+	case KindMeta:
+		r.meta = rec.Meta
+	case KindTask:
+		r.spans.TaskArrived(rec.Task, rec.Time, rec.Deadline)
+		r.decided[rec.Task] = true
+		for i := range rec.Flows {
+			fi := &rec.Flows[i]
+			r.spans.FlowArrived(fi.ID, rec.Task, rec.Time, rec.Deadline, fi.Label)
+			r.flows[fi.ID] = &FlowState{
+				Flow: fi.ID, Task: rec.Task, Src: fi.Src, Dst: fi.Dst,
+				Size: fi.Size, Label: fi.Label, Deadline: rec.Deadline,
+			}
+			r.taskFlows[rec.Task] = append(r.taskFlows[rec.Task], fi.ID)
+		}
+	case KindReplan:
+		r.lastReplan = rec.Replan
+		rs := *rec.Replan
+		rs.Plans = append([]span.PlanSpan(nil), rec.Replan.Plans...)
+		r.spans.Replan(rs)
+	case KindCommit:
+		r.applyCommit(rec)
+	case KindAdmit:
+		r.accepted[rec.Task] = true
+	case KindReject:
+		r.accepted[rec.Task] = false
+		r.dropTask(rec.Task)
+	case KindPreempt:
+		r.spans.PreemptedBy(rec.Task, rec.By)
+		r.accepted[rec.Task] = false
+		r.dropTask(rec.Task)
+		r.accepted[rec.By] = true
+	case KindAttr:
+		r.spans.Attribute(rec.Task, rec.Blocks)
+	case KindTaskEnd:
+		r.spans.TaskEnded(rec.Task, rec.Time, rec.Outcome, rec.Reason)
+	case KindFlowEnd:
+		r.spans.FlowEnded(rec.Flow, rec.Time, rec.Done, rec.OnTime, rec.Reason)
+		if f := r.flows[rec.Flow]; f != nil {
+			f.Done = rec.Done
+		}
+	case KindSegments:
+		r.spans.ImportSegments(rec.Flow, r.clipSegments(rec.Segments))
+	case KindLinkDown:
+		r.spans.LinkWentDown(rec.Link, rec.Time)
+	}
+}
+
+func (r *Replayer) clipSegments(segs []span.Segment) []span.Segment {
+	if !r.hasUntil {
+		return segs
+	}
+	out := make([]span.Segment, 0, len(segs))
+	for _, s := range segs {
+		if s.Interval.Start >= r.until {
+			continue
+		}
+		if s.Interval.End > r.until {
+			s.Interval.End = r.until
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (r *Replayer) dropTask(task int64) {
+	for _, id := range r.taskFlows[task] {
+		delete(r.flows, id)
+	}
+	delete(r.taskFlows, task)
+}
+
+// applyCommit installs the most recent planning pass as plan state,
+// reproducing the live mutation the recorded mode describes.
+func (r *Replayer) applyCommit(rec *Record) {
+	if r.lastReplan == nil {
+		return
+	}
+	plans := r.lastReplan.Plans
+	switch rec.Mode {
+	case CommitReplace:
+		// Full re-plan: slices and occupancy are rebuilt from this pass
+		// alone — every routed flow contributes, missed ones included —
+		// then garbage-collected up to the decision instant.
+		slices := make(map[int64]simtime.IntervalSet, len(plans))
+		occ := make(map[int32]simtime.IntervalSet)
+		for i := range plans {
+			p := &plans[i]
+			if p.Path == nil {
+				continue
+			}
+			grant := simtime.NewIntervalSet(p.Slices...)
+			slices[p.Flow] = grant
+			for _, l := range p.Path {
+				set := occ[l]
+				set.UnionInPlace(&grant)
+				occ[l] = set
+			}
+		}
+		for l, set := range occ {
+			set.GCBefore(rec.Time)
+			occ[l] = set
+		}
+		r.slices = slices
+		r.occ = occ
+		r.updateFlowMirror(plans, false)
+	case CommitMerge:
+		// Fast-admission: the newcomer's grants merge into existing state;
+		// only links on the new paths are touched.
+		for i := range plans {
+			p := &plans[i]
+			if p.Path == nil {
+				continue
+			}
+			grant := simtime.NewIntervalSet(p.Slices...)
+			r.slices[p.Flow] = grant
+			for _, l := range p.Path {
+				set := r.occ[l]
+				set.UnionInPlace(&grant)
+				set.GCBefore(rec.Time)
+				r.occ[l] = set
+			}
+		}
+		r.updateFlowMirror(plans, false)
+	case CommitUpdate:
+		// Networked controller: a flow takes the new path and slices only
+		// when the plan met its deadline; missed flows keep the old grant.
+		r.updateFlowMirror(plans, true)
+	}
+}
+
+func (r *Replayer) updateFlowMirror(plans []span.PlanSpan, skipMissed bool) {
+	for i := range plans {
+		p := &plans[i]
+		if p.Path == nil || (skipMissed && p.Missed) {
+			continue
+		}
+		f := r.flows[p.Flow]
+		if f == nil {
+			continue
+		}
+		f.Path = append([]int32(nil), p.Path...)
+		f.Slices = simtime.NewIntervalSet(p.Slices...)
+	}
+}
+
+// Tree materializes the reconstructed span forest (identical to the live
+// recorder's snapshot at the same point in the record stream).
+func (r *Replayer) Tree() *span.Tree { return r.spans.Snapshot() }
+
+// Spans exposes the reconstructed span recorder — a restarted controller
+// adopts it to continue recording where the log left off.
+func (r *Replayer) Spans() *span.Recorder { return r.spans }
+
+// Meta returns the log's identity record, or nil if none was seen.
+func (r *Replayer) Meta() *Meta { return r.meta }
+
+// Slices is the reconstructed per-flow grant table (core commit state).
+func (r *Replayer) Slices() map[int64]simtime.IntervalSet { return r.slices }
+
+// Occupancy is the reconstructed per-link busy calendar (core commit
+// state).
+func (r *Replayer) Occupancy() map[int32]simtime.IntervalSet { return r.occ }
+
+// Flows is the reconstructed in-flight flow table. Flows of rejected or
+// preempted tasks have been dropped, mirroring the live controller.
+func (r *Replayer) Flows() map[int64]*FlowState { return r.flows }
+
+// TaskFlows maps each live task to its flow IDs in arrival order.
+func (r *Replayer) TaskFlows() map[int64][]int64 { return r.taskFlows }
+
+// Accepted reports whether task was admitted (and not later dropped).
+func (r *Replayer) Accepted(task int64) bool { return r.accepted[task] }
+
+// Decided reports whether task's admission decision was made.
+func (r *Replayer) Decided(task int64) bool { return r.decided[task] }
+
+// AcceptedSet exposes the accepted-task table for recovery.
+func (r *Replayer) AcceptedSet() map[int64]bool { return r.accepted }
+
+// DecidedSet exposes the decided-task table for recovery.
+func (r *Replayer) DecidedSet() map[int64]bool { return r.decided }
+
+// Applied returns how many records have been folded (post-cutoff records
+// excluded).
+func (r *Replayer) Applied() int { return r.applied }

@@ -1,0 +1,279 @@
+package declog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"taps/internal/obs"
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+// castagnoli is the CRC-32C polynomial table shared by framing and
+// verification.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the fixed per-record framing overhead: u32le payload
+// length + u32le CRC-32C.
+const frameHeaderSize = 8
+
+// Options tunes a Writer.
+type Options struct {
+	// SyncEvery batches fsyncs: the file is synced after this many
+	// appended records (and always on Sync/Close). 0 takes the default
+	// (64); negative disables automatic syncing entirely.
+	SyncEvery int
+	// Health, when non-nil, receives writer health metrics: records
+	// appended, bytes written, fsync latency, torn-tail truncations.
+	Health *obs.Recorder
+}
+
+func (o Options) syncEvery() int {
+	switch {
+	case o.SyncEvery == 0:
+		return 64
+	case o.SyncEvery < 0:
+		return 0
+	}
+	return o.SyncEvery
+}
+
+// Writer appends CRC-framed records to a decision log file. All methods
+// are safe for concurrent use and no-ops on a nil *Writer, so call sites
+// on the planning hot path need no conditionals. Write errors are sticky:
+// the first one is retained (see Err) and subsequent appends are dropped,
+// matching the crash-only recovery model — a torn or short tail is
+// truncated on the next open.
+type Writer struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	buf       []byte // frame scratch, reused across appends
+	pending   int    // records appended since the last fsync
+	syncEvery int
+	health    *obs.Recorder
+	err       error
+}
+
+// Create creates (or truncates) a decision log at path and writes the
+// file magic. Use OpenAppend to continue an existing log instead.
+func Create(path string, opts Options) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("declog: %w", err)
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("declog: write magic: %w", err)
+	}
+	return newWriter(f, path, opts), nil
+}
+
+func newWriter(f *os.File, path string, opts Options) *Writer {
+	return &Writer{f: f, path: path, syncEvery: opts.syncEvery(), health: opts.Health}
+}
+
+// Path returns the log file's path (empty on a nil writer).
+func (w *Writer) Path() string {
+	if w == nil {
+		return ""
+	}
+	return w.path
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Append frames and writes one record. The frame reaches the OS in a
+// single write; durability is batched — every SyncEvery records the file
+// is fsynced (and Sync forces it, which the networked controller does
+// before broadcasting a decision: write-ahead).
+func (w *Writer) Append(r *Record) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, make([]byte, frameHeaderSize)...)
+	w.buf = encodeRecord(w.buf, r)
+	payload := w.buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("declog: append: %w", err)
+		return w.err
+	}
+	w.health.DeclogAppended(1, len(w.buf))
+	w.pending++
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync fsyncs any buffered records to stable storage. Call it before
+// acting on a decision (write-ahead) or before serving the file.
+func (w *Writer) Sync() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.pending == 0 {
+		return nil
+	}
+	w.pending = 0
+	// The wall-clock fsync timing lives in obs (TimeDeclogSync): this
+	// package records only simulated time and stays inside the tapslint
+	// wallclock scope without suppressions.
+	if err := w.health.TimeDeclogSync(w.f.Sync); err != nil {
+		w.err = fmt.Errorf("declog: fsync: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Close syncs and closes the log. Safe to call once; nil-safe.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	syncErr := w.syncLocked()
+	closeErr := w.f.Close()
+	w.f = nil
+	if w.err == nil && closeErr != nil {
+		w.err = fmt.Errorf("declog: close: %w", closeErr)
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return w.err
+}
+
+// The emit helpers below build and append one record each. All are
+// nil-safe; append errors are sticky and surfaced via Err/Sync/Close so
+// hot-path call sites need not check each one.
+
+// Meta writes the log identity record (first record of a fresh log).
+func (w *Writer) Meta(m Meta) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindMeta, Meta: &m})
+}
+
+// TaskArrived records a task arrival with its flows.
+func (w *Writer) TaskArrived(at simtime.Time, task int64, deadline simtime.Time, flows []FlowInfo) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindTask, Time: at, Task: task, Deadline: deadline, Flows: flows})
+}
+
+// Replan records one planning pass (the slice-grant batch). rs.Seq is
+// ignored — the replayer's span recorder reassigns pass numbers in log
+// order, which matches the live order by construction.
+func (w *Writer) Replan(at simtime.Time, rs span.ReplanSpan) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindReplan, Time: at, Replan: &rs})
+}
+
+// Admit records an accepted task (fast marks the fast-admission path).
+func (w *Writer) Admit(at simtime.Time, task int64, fast bool) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindAdmit, Time: at, Task: task, Fast: fast})
+}
+
+// Reject records a discarded newcomer.
+func (w *Writer) Reject(at simtime.Time, task int64, reason string) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindReject, Time: at, Task: task, Reason: reason})
+}
+
+// Preempt records an admitted victim sacrificed for newcomer by.
+func (w *Writer) Preempt(at simtime.Time, victim, by int64, fraction float64, reason string) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindPreempt, Time: at, Task: victim, By: by, Fraction: fraction, Reason: reason})
+}
+
+// Attribute records the blocking-link chain of a rejection/preemption.
+func (w *Writer) Attribute(at simtime.Time, task int64, blocks []span.LinkBlock) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindAttr, Time: at, Task: task, Blocks: blocks})
+}
+
+// TaskEnded records a task's terminal outcome.
+func (w *Writer) TaskEnded(at simtime.Time, task int64, outcome span.Outcome, reason string) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindTaskEnd, Time: at, Task: task, Outcome: outcome, Reason: reason})
+}
+
+// FlowEnded records a flow's terminal instant — the slice-revoke event.
+func (w *Writer) FlowEnded(at simtime.Time, flow int64, done, onTime bool, note string) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindFlowEnd, Time: at, Flow: flow, Done: done, OnTime: onTime, Reason: note})
+}
+
+// Segments records a flow's transmission segments.
+func (w *Writer) Segments(at simtime.Time, flow int64, segs []span.Segment) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindSegments, Time: at, Flow: flow, Segments: segs})
+}
+
+// LinkDown records a link failure.
+func (w *Writer) LinkDown(at simtime.Time, link int32) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindLinkDown, Time: at, Link: link})
+}
+
+// Commit records that the preceding pass was installed as plan state.
+func (w *Writer) Commit(at simtime.Time, mode CommitMode) {
+	if w == nil {
+		return
+	}
+	w.Append(&Record{Kind: KindCommit, Time: at, Mode: mode})
+}

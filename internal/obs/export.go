@@ -204,6 +204,38 @@ func WritePrometheus(w io.Writer, r *Recorder, linkName func(int32) string) erro
 			}
 		}
 	}
+	if ds := r.DeclogStats(); ds.Records > 0 || ds.Truncations > 0 {
+		b.WriteString("# HELP taps_declog_records_total Decision-log records appended.\n")
+		b.WriteString("# TYPE taps_declog_records_total counter\n")
+		fmt.Fprintf(&b, "taps_declog_records_total %d\n", ds.Records)
+		b.WriteString("# HELP taps_declog_bytes_total Decision-log bytes written (frame headers included).\n")
+		b.WriteString("# TYPE taps_declog_bytes_total counter\n")
+		fmt.Fprintf(&b, "taps_declog_bytes_total %d\n", ds.Bytes)
+		b.WriteString("# HELP taps_declog_truncations_total Torn decision-log tails discarded on open.\n")
+		b.WriteString("# TYPE taps_declog_truncations_total counter\n")
+		fmt.Fprintf(&b, "taps_declog_truncations_total %d\n", ds.Truncations)
+
+		sh := r.DeclogSyncLatency()
+		sb := sh.Buckets()
+		stop := 0
+		for i, c := range sb {
+			if c > 0 {
+				stop = i
+			}
+		}
+		b.WriteString("# HELP taps_declog_fsync_seconds Wall-clock decision-log fsync latency.\n")
+		b.WriteString("# TYPE taps_declog_fsync_seconds histogram\n")
+		var scum uint64
+		for i := 0; i <= stop; i++ {
+			scum += sb[i]
+			fmt.Fprintf(&b, "taps_declog_fsync_seconds_bucket{le=%q} %d\n",
+				formatFloat(HistBucketUpper(i).Seconds()), scum)
+		}
+		fmt.Fprintf(&b, "taps_declog_fsync_seconds_bucket{le=\"+Inf\"} %d\n", sh.Count())
+		fmt.Fprintf(&b, "taps_declog_fsync_seconds_sum %s\n", formatFloat(sh.Sum().Seconds()))
+		fmt.Fprintf(&b, "taps_declog_fsync_seconds_count %d\n", sh.Count())
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

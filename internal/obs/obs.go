@@ -116,14 +116,18 @@ type Options struct {
 // Recorder collects events, planner latencies, and link gauges. Create
 // with NewRecorder; a nil *Recorder is a valid disabled recorder.
 type Recorder struct {
-	planner Histogram // replan + fast-admit wall-clock latency
+	planner    Histogram // replan + fast-admit wall-clock latency
+	declogSync Histogram // decision-log fsync wall-clock latency
 
-	mu     sync.Mutex
-	ring   []Event
-	seq    uint64
-	counts [kindCount]uint64
-	links  []LinkStat
-	sinks  []func(Event)
+	mu            sync.Mutex
+	ring          []Event
+	seq           uint64
+	counts        [kindCount]uint64
+	links         []LinkStat
+	sinks         []func(Event)
+	declogRecords uint64
+	declogBytes   uint64
+	declogTruncs  uint64
 }
 
 // NewRecorder returns an enabled recorder.
@@ -281,6 +285,72 @@ func (r *Recorder) SampleLink(link int32, util float64, dt simtime.Time) {
 	}
 	s.Samples++
 	r.mu.Unlock()
+}
+
+// DeclogStats aggregates decision-log writer health.
+type DeclogStats struct {
+	// Records is the total number of records appended.
+	Records uint64
+	// Bytes is the total framed bytes written (headers included).
+	Bytes uint64
+	// Truncations counts torn tails discarded on log open — each one is a
+	// crash the recovery path absorbed.
+	Truncations uint64
+}
+
+// DeclogAppended folds one decision-log append (records framed, bytes
+// written) into the health counters. No-op on nil.
+func (r *Recorder) DeclogAppended(records, bytes int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.declogRecords += uint64(records)
+	r.declogBytes += uint64(bytes)
+	r.mu.Unlock()
+}
+
+// DeclogTruncated counts one torn-tail truncation. No-op on nil.
+func (r *Recorder) DeclogTruncated() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.declogTruncs++
+	r.mu.Unlock()
+}
+
+// DeclogStats returns a snapshot of the decision-log health counters.
+func (r *Recorder) DeclogStats() DeclogStats {
+	if r == nil {
+		return DeclogStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return DeclogStats{Records: r.declogRecords, Bytes: r.declogBytes, Truncations: r.declogTruncs}
+}
+
+// DeclogSyncLatency returns the decision-log fsync latency histogram (nil
+// on a nil recorder).
+func (r *Recorder) DeclogSyncLatency() *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &r.declogSync
+}
+
+// TimeDeclogSync runs one decision-log fsync and records its wall-clock
+// latency. The sync itself always runs, even on a nil recorder — this
+// method exists so the wall-clock reads stay in obs, keeping the declog
+// package itself free of wall-clock calls (a tapslint invariant).
+func (r *Recorder) TimeDeclogSync(sync func() error) error {
+	if r == nil {
+		return sync()
+	}
+	start := time.Now()
+	err := sync()
+	r.declogSync.Observe(time.Since(start))
+	return err
 }
 
 // LinkStats returns a snapshot of the per-link gauges, indexed by link ID.

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"taps/internal/obs"
+	"taps/internal/obs/declog"
 	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -259,6 +260,14 @@ type Config struct {
 	// arrivals, planning passes, grants, transmissions, terminals.
 	// Nil disables recording with zero overhead on the hot path.
 	Spans *span.Recorder
+	// DecLog, when non-nil, receives the durable decision-log records the
+	// engine owns: task arrivals (with flow identities), task/flow
+	// terminals, link failures. Pair it with the TAPS scheduler's
+	// SetDecisionLog (same writer) so planning passes, commits and
+	// admission decisions land in the same log — together they make the
+	// log a complete flight recording that replays to the exact span tree
+	// and plan state of the live run.
+	DecLog *declog.Writer
 }
 
 // LinkFailure kills one directed link at an instant.
@@ -326,12 +335,13 @@ func (e *Engine) taskEnded(t *Task, note string, preempted bool) {
 		}
 		r.Record(ev)
 	}
-	if r := e.cfg.Spans; r != nil {
+	if e.cfg.Spans != nil || e.cfg.DecLog != nil {
 		outcome := span.OutcomeRejected
 		if preempted {
 			outcome = span.OutcomePreempted
 		}
-		r.TaskEnded(int64(t.ID), e.st.now, outcome, note)
+		e.cfg.Spans.TaskEnded(int64(t.ID), e.st.now, outcome, note)
+		e.cfg.DecLog.TaskEnded(e.st.now, int64(t.ID), outcome, note)
 	}
 	if preempted {
 		e.sched.OnTaskPreempted(e.st, t)
@@ -396,8 +406,8 @@ func (e *Engine) Run() (*Result, error) {
 // failures — rejections and preemptions were already recorded live by
 // taskEnded), and the transmission segments when the run recorded them.
 func (e *Engine) finishSpans() {
-	r := e.cfg.Spans
-	if r == nil {
+	r, w := e.cfg.Spans, e.cfg.DecLog
+	if r == nil && w == nil {
 		return
 	}
 	st := e.st
@@ -405,8 +415,10 @@ func (e *Engine) finishSpans() {
 		switch f.State {
 		case FlowDone:
 			r.FlowEnded(int64(f.ID), f.Finish, true, f.Finish <= f.Deadline, "")
+			w.FlowEnded(f.Finish, int64(f.ID), true, f.Finish <= f.Deadline, "")
 		case FlowKilled:
 			r.FlowEnded(int64(f.ID), f.Finish, false, false, f.KillNote)
+			w.FlowEnded(f.Finish, int64(f.ID), false, false, f.KillNote)
 		}
 		if segs := e.segments[f.ID]; len(segs) > 0 {
 			out := make([]span.Segment, len(segs))
@@ -414,6 +426,7 @@ func (e *Engine) finishSpans() {
 				out[i] = span.Segment{Interval: s.Interval, Rate: s.Rate}
 			}
 			r.ImportSegments(int64(f.ID), out)
+			w.Segments(st.now, int64(f.ID), out)
 		}
 	}
 	for _, t := range st.tasks {
@@ -433,8 +446,10 @@ func (e *Engine) finishSpans() {
 		}
 		if allDone {
 			r.TaskEnded(int64(t.ID), end, span.OutcomeCompleted, "")
+			w.TaskEnded(end, int64(t.ID), span.OutcomeCompleted, "")
 		} else {
 			r.TaskEnded(int64(t.ID), end, span.OutcomeKilled, note)
+			w.TaskEnded(end, int64(t.ID), span.OutcomeKilled, note)
 		}
 	}
 }
@@ -470,6 +485,9 @@ func (e *Engine) applyFailures() {
 		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindLinkDown,
 			Task: obs.NoTask, Link: int32(lf.Link)})
 		e.cfg.Spans.LinkWentDown(int32(lf.Link), st.now)
+		// Log the failure before the scheduler reacts, so replay sees the
+		// recovery re-plan after its cause.
+		e.cfg.DecLog.LinkDown(st.now, int32(lf.Link))
 		e.sched.OnLinkDown(st, lf.Link)
 	}
 }
@@ -487,6 +505,10 @@ func (e *Engine) admitArrivals() {
 		}
 		st.tasks = append(st.tasks, task)
 		e.cfg.Spans.TaskArrived(int64(task.ID), task.Arrival, task.Deadline)
+		var infos []declog.FlowInfo
+		if e.cfg.DecLog != nil {
+			infos = make([]declog.FlowInfo, 0, len(spec.Flows))
+		}
 		for _, fs := range spec.Flows {
 			f := &Flow{
 				ID:        FlowID(len(st.flows)),
@@ -504,9 +526,13 @@ func (e *Engine) admitArrivals() {
 			}
 			st.flows = append(st.flows, f)
 			task.Flows = append(task.Flows, f.ID)
-			if e.cfg.Spans != nil {
+			if e.cfg.Spans != nil || e.cfg.DecLog != nil {
 				label := st.graph.Node(fs.Src).Name + "->" + st.graph.Node(fs.Dst).Name
 				e.cfg.Spans.FlowArrived(int64(f.ID), int64(task.ID), f.Arrival, f.Deadline, label)
+				if e.cfg.DecLog != nil {
+					infos = append(infos, declog.FlowInfo{ID: int64(f.ID),
+						Src: int32(fs.Src), Dst: int32(fs.Dst), Size: fs.Size, Label: label})
+				}
 			}
 			if f.remaining <= 0 || fs.Src == fs.Dst {
 				// Zero bytes, or a local transfer that never touches
@@ -520,6 +546,7 @@ func (e *Engine) admitArrivals() {
 			}
 			st.active[f.ID] = f
 		}
+		e.cfg.DecLog.TaskArrived(task.Arrival, int64(task.ID), task.Deadline, infos)
 		e.sched.OnTaskArrival(st, task)
 	}
 }
