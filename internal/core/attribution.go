@@ -40,80 +40,56 @@ func spanPlans(flows []*sim.Flow, entries []PlanEntry) []span.PlanSpan {
 // the busiest holders per link) are named.
 const attributionLimit = 5
 
-// buildAttribution explains why the tentative plan doomed a task: for each
-// missed flow that sealed its fate, the links of the flow's (would-be)
-// path whose occupancy within [now, deadline) left no feasible window, and
-// the surviving tasks holding planned slices there. Normally the missed
-// flows are the task's own; when a newcomer is rejected because admitting
-// it would push an *incumbent* past its deadline (§IV-B's exactly-one-
-// other-task-misses branch, lost on completion fraction), the task has no
-// missed flows itself — the chain is then built from the windows its
-// admission doomed, and the holders still name the survivors. Links and
-// holders are ordered busiest first, ties by ID, capped at
-// attributionLimit each — this is the chain `tapsim -why` prints and the
-// trace export attaches to the terminal instant.
-func (s *Scheduler) buildAttribution(st *sim.State, task sim.TaskID, plan *allocation) []span.LinkBlock {
-	now := st.Now()
-	missed := make([]*sim.Flow, 0, len(plan.missed))
-	for _, mf := range plan.missed {
-		if mf.Task == task {
-			missed = append(missed, mf)
-		}
-	}
-	if len(missed) == 0 {
-		missed = plan.missed
-	}
-	type agg struct {
-		window  simtime.Interval
-		busy    simtime.Time
-		holders map[sim.TaskID]simtime.Time
-	}
-	aggs := make(map[topology.LinkID]*agg)
-	for _, mf := range missed {
-		window := simtime.Interval{Start: now, End: mf.Deadline}
-		if window.Empty() {
-			continue
-		}
-		path := plan.paths[mf.ID]
-		if path == nil && s.planner != nil {
-			// Unroutable in this plan: attribute along the first candidate
-			// path the planner considered for the flow.
-			if cands := s.planner.Routing.Paths(mf.Src, mf.Dst, s.planner.MaxPaths, uint64(mf.ID)); len(cands) > 0 {
-				path = cands[0]
-			}
-		}
-		for _, l := range path {
-			a, ok := aggs[l]
-			if !ok {
-				a = &agg{window: window, holders: make(map[sim.TaskID]simtime.Time)}
-				aggs[l] = a
-			} else if window.End > a.window.End {
-				a.window.End = window.End
-			}
-		}
-	}
-	if len(aggs) == 0 {
-		return nil
-	}
-	// Charge every other task's planned slices on those links.
-	for fid, p := range plan.paths {
-		f := st.Flow(fid)
-		if f == nil || f.Task == task {
-			continue
-		}
-		sl := plan.slices[fid]
-		for _, l := range p {
-			a, ok := aggs[l]
-			if !ok {
-				continue
-			}
-			if ov := sl.OverlapTotal(a.window); ov > 0 {
-				a.busy += ov
-				a.holders[f.Task] += ov
-			}
-		}
-	}
+// linkAggs is the §IV-B chain walk shared by rejection/preemption
+// attribution and the delta planner's dirty-set estimate: a set of watched
+// contended links, each with the deadline window under contention and the
+// per-task slice time other tasks hold there. Both consumers ask the same
+// question — "whose planned occupancy on these links intersects this
+// window?" — attribution to name the blockers, the delta planner to bound
+// which tasks an arrival can affect.
+type linkAggs map[topology.LinkID]*linkAgg
 
+type linkAgg struct {
+	window  simtime.Interval
+	busy    simtime.Time
+	holders map[sim.TaskID]simtime.Time
+}
+
+// watch puts every link of path under watch for the given window, widening
+// an already-watched link's window as needed.
+func (aggs linkAggs) watch(path topology.Path, window simtime.Interval) {
+	if window.Empty() {
+		return
+	}
+	for _, l := range path {
+		a, ok := aggs[l]
+		if !ok {
+			aggs[l] = &linkAgg{window: window, holders: make(map[sim.TaskID]simtime.Time)}
+		} else if window.End > a.window.End {
+			a.window.End = window.End
+		}
+	}
+}
+
+// charge folds one flow's planned slices into every watched link its path
+// crosses, crediting the overlap to its task.
+func (aggs linkAggs) charge(task sim.TaskID, path topology.Path, sl simtime.IntervalSet) {
+	for _, l := range path {
+		a, ok := aggs[l]
+		if !ok {
+			continue
+		}
+		if ov := sl.OverlapTotal(a.window); ov > 0 {
+			a.busy += ov
+			a.holders[task] += ov
+		}
+	}
+}
+
+// rank orders the watched links busiest first (ties by ID), capped at
+// attributionLimit links with attributionLimit holders each, in the shape
+// `tapsim -why` prints.
+func (aggs linkAggs) rank() []span.LinkBlock {
 	links := make([]topology.LinkID, 0, len(aggs))
 	for l := range aggs {
 		links = append(links, l)
@@ -151,4 +127,104 @@ func (s *Scheduler) buildAttribution(st *sim.State, task sim.TaskID, plan *alloc
 		blocks = append(blocks, blk)
 	}
 	return blocks
+}
+
+// chargedTasks reports which tasks hold any slice time on a watched link —
+// the §IV-B chain membership itself, independent of ranking. Map-valued on
+// purpose: callers only test membership, so iteration order never leaks.
+func (aggs linkAggs) chargedTasks() map[sim.TaskID]bool {
+	tasks := make(map[sim.TaskID]bool)
+	for _, a := range aggs {
+		for t := range a.holders {
+			tasks[t] = true
+		}
+	}
+	return tasks
+}
+
+// buildAttribution explains why the tentative plan doomed a task: for each
+// missed flow that sealed its fate, the links of the flow's (would-be)
+// path whose occupancy within [now, deadline) left no feasible window, and
+// the surviving tasks holding planned slices there. Normally the missed
+// flows are the task's own; when a newcomer is rejected because admitting
+// it would push an *incumbent* past its deadline (§IV-B's exactly-one-
+// other-task-misses branch, lost on completion fraction), the task has no
+// missed flows itself — the chain is then built from the windows its
+// admission doomed, and the holders still name the survivors. Links and
+// holders are ordered busiest first, ties by ID, capped at
+// attributionLimit each — this is the chain `tapsim -why` prints and the
+// trace export attaches to the terminal instant.
+func (s *Scheduler) buildAttribution(st *sim.State, task sim.TaskID, plan *allocation) []span.LinkBlock {
+	now := st.Now()
+	missed := make([]*sim.Flow, 0, len(plan.missed))
+	for _, mf := range plan.missed {
+		if mf.Task == task {
+			missed = append(missed, mf)
+		}
+	}
+	if len(missed) == 0 {
+		missed = plan.missed
+	}
+	aggs := make(linkAggs)
+	for _, mf := range missed {
+		path := plan.paths[mf.ID]
+		if path == nil && s.planner != nil {
+			// Unroutable in this plan: attribute along the first candidate
+			// path the planner considered for the flow.
+			if cands := s.planner.Routing.Paths(mf.Src, mf.Dst, s.planner.MaxPaths, uint64(mf.ID)); len(cands) > 0 {
+				path = cands[0]
+			}
+		}
+		aggs.watch(path, simtime.Interval{Start: now, End: mf.Deadline})
+	}
+	if len(aggs) == 0 {
+		return nil
+	}
+	// Charge every other task's planned slices on those links.
+	for fid, p := range plan.paths {
+		f := st.Flow(fid)
+		if f == nil || f.Task == task {
+			continue
+		}
+		aggs.charge(f.Task, p, plan.slices[fid])
+	}
+	return aggs.rank()
+}
+
+// dirtySetEstimate predicts, before the incremental pass runs, how many
+// in-flight flows a task's arrival can plausibly dirty: the same chain
+// walk as attribution — watch every candidate path of the newcomer's flows
+// over [now, deadline), charge every committed flow's slices — then count
+// the flows of every task charged anywhere, plus the newcomer's own. The
+// scheduler uses it as the upfront full-vs-incremental policy gate; the
+// estimate is advisory (the mid-pass dirty budget remains the hard
+// backstop), so it can never affect plan correctness.
+func (s *Scheduler) dirtySetEstimate(st *sim.State, task *sim.Task, flows []*sim.Flow) int {
+	now := st.Now()
+	aggs := make(linkAggs)
+	for _, fid := range task.Flows {
+		f := st.Flow(fid)
+		if f == nil || f.State != sim.FlowActive {
+			continue
+		}
+		for _, p := range s.planner.Routing.Paths(f.Src, f.Dst, s.planner.MaxPaths, uint64(f.ID)) {
+			aggs.watch(p, simtime.Interval{Start: now, End: f.Deadline})
+		}
+	}
+	for _, f := range flows {
+		if f.Task == task.ID {
+			continue
+		}
+		if sl, ok := s.slices[f.ID]; ok {
+			aggs.charge(f.Task, f.Path, sl)
+		}
+	}
+	charged := aggs.chargedTasks()
+	est := 0
+	for _, f := range flows {
+		if f.Task == task.ID || charged[f.Task] {
+			est++
+		}
+	}
+	return est
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"taps/internal/core"
@@ -104,6 +105,121 @@ func BenchmarkPlanAllFatTreeParallel(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.PlanAll(0, reqs, nil)
+			}
+		})
+	}
+}
+
+// deltaBenchReqs builds n spread flows on a k=16 fat tree (1024 hosts),
+// sorted the way both schedulers feed the planner (EDF, then size, then
+// key) — the workload shape where one arrival touches a tiny fraction of
+// the fleet, which is exactly what the delta planner exploits.
+func deltaBenchReqs(g *topology.Graph, n int) []core.FlowReq {
+	hosts := g.Hosts()
+	reqs := make([]core.FlowReq, n)
+	for i := range reqs {
+		reqs[i] = core.FlowReq{
+			Key:      uint64(i),
+			Src:      hosts[i%len(hosts)],
+			Dst:      hosts[(i*7+3)%len(hosts)],
+			Bytes:    200 * 1024,
+			Deadline: simtime.Time(20+i%40) * simtime.Millisecond,
+		}
+		if reqs[i].Src == reqs[i].Dst {
+			reqs[i].Dst = hosts[(i+1)%len(hosts)]
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Key < b.Key
+	})
+	return reqs
+}
+
+// deltaBenchArrival splices one newcomer into its sorted position.
+func deltaBenchArrival(g *topology.Graph, reqs []core.FlowReq) ([]core.FlowReq, uint64) {
+	hosts := g.Hosts()
+	nc := core.FlowReq{
+		Key: uint64(1) << 40, Src: hosts[3], Dst: hosts[len(hosts)/2],
+		Bytes: 300 * 1024, Deadline: 35 * simtime.Millisecond,
+	}
+	pos := sort.Search(len(reqs), func(i int) bool {
+		a := reqs[i]
+		if a.Deadline != nc.Deadline {
+			return a.Deadline > nc.Deadline
+		}
+		if a.Bytes != nc.Bytes {
+			return a.Bytes > nc.Bytes
+		}
+		return a.Key > nc.Key
+	})
+	out := make([]core.FlowReq, 0, len(reqs)+1)
+	out = append(append(append(out, reqs[:pos]...), nc), reqs[pos:]...)
+	return out, nc.Key
+}
+
+var deltaBenchSizes = []struct {
+	name string
+	n    int
+}{{"1k", 1_000}, {"10k", 10_000}, {"100k", 100_000}}
+
+// BenchmarkPlanIncremental measures one arrival's delta replan at scale:
+// steady state (records adopted from a full pass), then per iteration one
+// newcomer spliced in, one incremental pass over all n+1 flows, and the
+// newcomer revoked. Compare against BenchmarkPlanFullReplan at the same
+// sizes — the full pass is what every arrival cost before the delta
+// planner (no 100k full baseline: see EXPERIMENTS.md).
+func BenchmarkPlanIncremental(b *testing.B) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 16, LinkCapacity: topology.Gbps(1)})
+	cr := topology.NewCachedRouting(r)
+	for _, size := range deltaBenchSizes {
+		b.Run("flows="+size.name, func(b *testing.B) {
+			reqs := deltaBenchReqs(g, size.n)
+			p := &core.Planner{Graph: g, Routing: cr, MaxPaths: 4}
+			d := core.NewDeltaPlanner(p, 0)
+			d.Adopt(reqs, p.PlanAll(0, reqs, nil))
+			withNew, newKey := deltaBenchArrival(g, reqs)
+			// Warm the scratch arenas and candidate caches.
+			if _, _, ok := d.PlanAll(0, withNew, nil); !ok {
+				b.Fatal("warm-up pass fell back to the full planner")
+			}
+			d.Revoke(0, newKey)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := d.PlanAll(0, withNew, nil); !ok {
+					b.Fatal("incremental pass fell back to the full planner")
+				}
+				d.Revoke(0, newKey)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanFullReplan is the arrival cost without the delta planner
+// on the identical workload and topology as BenchmarkPlanIncremental:
+// one full first-fit pass over all n+1 flows. 100k is omitted — a single
+// full pass there runs ~0.3s, too slow for the CI bench-smoke's 1x pass
+// to say anything useful (the trend is already linear from 1k to 10k).
+func BenchmarkPlanFullReplan(b *testing.B) {
+	g, r := topology.FatTree(topology.FatTreeSpec{K: 16, LinkCapacity: topology.Gbps(1)})
+	cr := topology.NewCachedRouting(r)
+	for _, size := range deltaBenchSizes[:2] {
+		b.Run("flows="+size.name, func(b *testing.B) {
+			reqs := deltaBenchReqs(g, size.n)
+			p := &core.Planner{Graph: g, Routing: cr, MaxPaths: 4}
+			withNew, _ := deltaBenchArrival(g, reqs)
+			p.PlanAll(0, withNew, nil) // warm the routing cache and arenas
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PlanAll(0, withNew, nil)
 			}
 		})
 	}

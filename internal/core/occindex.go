@@ -1,0 +1,99 @@
+package core
+
+import (
+	"taps/internal/topology"
+)
+
+// occIndex is the per-link occupancy generation index behind the delta
+// planner: it answers, in O(links on a path), "has anything on these links
+// changed since I last validated this flow's allocation?" — without ever
+// recomputing the occupancy of unrelated links.
+//
+// It keeps one strictly monotonic event clock and two dense per-link
+// generation stamps, indexed by LinkID exactly like the scheduler's dense
+// rate cache (PR 3), so both caches invalidate on the same cheap integer
+// comparisons:
+//
+//   - touchGen[l] advances whenever ANY committed allocation on l changes —
+//     an insert, a free, or a reshaped grant. A flow whose stored allocation
+//     is younger than every touchGen on its candidate links can be re-emitted
+//     with zero planning work: nothing it could see has moved.
+//
+//   - freeGen[l] advances only when capacity is RETURNED on l — a revoked
+//     grant or a vacated region of a reshaped one. Inserts make losing
+//     candidate paths strictly worse, so as long as no free happened the
+//     stored winner stays the winner and a single evalPath re-check of that
+//     one path suffices. A free can resurrect a losing candidate, which only
+//     a full re-plan of the flow can rule out.
+//
+// The asymmetry is the whole trick: arrivals (the common case) only insert,
+// so steady-state passes reduce to generation comparisons plus one
+// first-fit evaluation per flow whose links were touched.
+type occIndex struct {
+	// clock is the global event counter; every mutation batch gets a fresh
+	// value, so "gen > snapshot" is an unambiguous happened-after test.
+	clock    uint64
+	freeGen  []uint64
+	touchGen []uint64
+}
+
+// grow ensures both generation slices cover link l.
+func (x *occIndex) grow(l topology.LinkID) {
+	if n := int(l) + 1; n > len(x.touchGen) {
+		tg := make([]uint64, n+len(x.touchGen))
+		copy(tg, x.touchGen)
+		x.touchGen = tg
+		fg := make([]uint64, cap(tg))[:len(tg)]
+		copy(fg, x.freeGen)
+		x.freeGen = fg
+	}
+}
+
+// bump records one occupancy mutation on every link of path, advancing the
+// clock once for the whole batch. free additionally marks the mutation as
+// returning capacity (revocation / vacated region), which widens what later
+// passes must re-examine.
+func (x *occIndex) bump(path topology.Path, free bool) {
+	if len(path) == 0 {
+		return
+	}
+	x.clock++
+	for _, l := range path {
+		x.grow(l)
+		x.touchGen[l] = x.clock
+		if free {
+			x.freeGen[l] = x.clock
+		}
+	}
+}
+
+// maxTouch returns the newest touch generation across links; links never
+// touched read as generation 0.
+func (x *occIndex) maxTouch(links []topology.LinkID) uint64 {
+	var m uint64
+	for _, l := range links {
+		if int(l) < len(x.touchGen) && x.touchGen[l] > m {
+			m = x.touchGen[l]
+		}
+	}
+	return m
+}
+
+// maxFree returns the newest free generation across links.
+func (x *occIndex) maxFree(links []topology.LinkID) uint64 {
+	var m uint64
+	for _, l := range links {
+		if int(l) < len(x.freeGen) && x.freeGen[l] > m {
+			m = x.freeGen[l]
+		}
+	}
+	return m
+}
+
+// tick advances the clock without touching any link: used when a whole
+// record set is adopted from a full pass, so the adopted snapshots are
+// strictly newer than every earlier mutation.
+func (x *occIndex) tick() uint64 {
+	x.clock++
+	return x.clock
+}

@@ -108,12 +108,24 @@ func (p *Planner) PathsTried() int64 { return p.pathsTried.Load() }
 // copy-on-write mode (PlanAllCOW) reads fall through to base and a link is
 // cloned into write only right before its first mutation, so a failed pass
 // costs no copies and leaves base untouched.
+// A third mode backs the view with a dense LinkID-indexed array instead
+// of a map (dense != nil): the delta planner's hot path, where the
+// occupancy of every link is rebuilt each pass and per-link map hashing
+// would dominate the pass (see delta.go). Dense mode implies an empty
+// starting occupancy; write and base are ignored.
 type occView struct {
 	write map[topology.LinkID]simtime.IntervalSet
 	base  map[topology.LinkID]simtime.IntervalSet
+	dense []simtime.IntervalSet
 }
 
 func (v *occView) get(l topology.LinkID) simtime.IntervalSet {
+	if v.dense != nil {
+		if int(l) < len(v.dense) {
+			return v.dense[l]
+		}
+		return simtime.IntervalSet{}
+	}
 	if s, ok := v.write[l]; ok {
 		return s
 	}
@@ -126,6 +138,13 @@ func (v *occView) get(l topology.LinkID) simtime.IntervalSet {
 // add unions slices into link l's occupancy, cloning from base first in
 // copy-on-write mode.
 func (v *occView) add(l topology.LinkID, slices *simtime.IntervalSet) {
+	if v.dense != nil {
+		for int(l) >= len(v.dense) {
+			v.dense = append(v.dense, simtime.IntervalSet{})
+		}
+		v.dense[l].UnionInPlace(slices)
+		return
+	}
 	set, ok := v.write[l]
 	if !ok && v.base != nil {
 		set = v.base[l].Clone()
@@ -170,9 +189,12 @@ func (p *Planner) PlanAllCOW(now simtime.Time, reqs []FlowReq, base map[topology
 	return entries, v.write
 }
 
-func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []PlanEntry {
-	// Window end: beyond maxDeadline + serialized total work every flow
-	// finds idle slices, so TakeFirst cannot fail inside the window.
+// planWindow computes the allocation window for one pass over reqs: beyond
+// maxDeadline + serialized total work every flow finds idle slices, so
+// TakeFirst cannot fail inside the window. The delta planner computes the
+// window through this same function so incremental passes see bit-identical
+// allocation horizons.
+func (p *Planner) planWindow(now simtime.Time, reqs []FlowReq, occ *occView) simtime.Interval {
 	var sumE simtime.Time
 	maxDeadline := now
 	for _, r := range reqs {
@@ -191,7 +213,11 @@ func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []Plan
 			maxDeadline = max(maxDeadline, ivs[len(ivs)-1].End)
 		}
 	}
-	window := simtime.Interval{Start: now, End: maxDeadline + sumE + 1}
+	return simtime.Interval{Start: now, End: maxDeadline + sumE + 1}
+}
+
+func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []PlanEntry {
+	window := p.planWindow(now, reqs, occ)
 
 	entries := make([]PlanEntry, len(reqs))
 	for i, r := range reqs {

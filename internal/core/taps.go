@@ -89,6 +89,18 @@ type Config struct {
 	// (the winner is the lowest (finish, path-index) pair). Only worth
 	// enabling on multi-rooted topologies with a meaningful MaxPaths.
 	PlannerWorkers int
+	// Incremental enables the delta planner: arrival passes re-plan only
+	// the dirty set (flows whose inputs provably changed) and re-emit
+	// validated allocations for the rest, falling back to the full
+	// re-plan when the dirty set exceeds IncrementalMaxDirtyFrac or a
+	// link failure invalidates the occupancy index. Plans are
+	// bit-identical to the full re-plan (property-tested); off by
+	// default.
+	Incremental bool
+	// IncrementalMaxDirtyFrac is the dirty-set fraction above which an
+	// incremental pass aborts into the full re-plan. <= 0 selects
+	// DefaultMaxDirtyFrac.
+	IncrementalMaxDirtyFrac float64
 }
 
 // DefaultConfig is the configuration used throughout the paper's
@@ -100,6 +112,12 @@ func DefaultConfig() Config { return Config{MaxPaths: 16} }
 type Scheduler struct {
 	cfg     Config
 	planner *Planner // created lazily from the first arrival's state
+
+	// delta, when Config.Incremental is set, carries per-flow allocation
+	// records and the per-link occupancy generation index between
+	// planning passes (see delta.go). Nil keeps the historical
+	// full-replan path untouched.
+	delta *DeltaPlanner
 
 	// plan state, rebuilt on every task arrival
 	slices map[sim.FlowID]simtime.IntervalSet
@@ -266,7 +284,43 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKi
 		t0 = time.Now() //taps:allow wallclock obs-only planner latency; never feeds simulated time
 	}
 	occ := make(map[topology.LinkID]simtime.IntervalSet)
-	entries := s.planner.PlanAll(st.Now(), reqs, occ)
+	var entries []PlanEntry
+	scope := 0
+	if s.delta != nil {
+		var ds DeltaStats
+		ok := false
+		tried := s.delta.Records() > 0
+		tryDelta := tried
+		if tryDelta && kind == span.ReplanArrival && trigger >= 0 {
+			// A-priori policy gate: the §IV-B chain walk bounds which tasks
+			// the newcomer can affect. When the estimated dirty set already
+			// blows the budget, go straight to the full re-plan instead of
+			// burning a doomed incremental attempt.
+			est := s.dirtySetEstimate(st, st.Task(sim.TaskID(trigger)), flows)
+			tryDelta = est <= s.delta.MaxDirty(len(reqs))
+		}
+		if tryDelta {
+			entries, ds, ok = s.delta.PlanAll(st.Now(), reqs, occ)
+		}
+		if ok {
+			kind, scope = span.ReplanIncremental, ds.Replanned
+			s.obs.ObserveReplanScope(ds.Replanned, len(reqs))
+		} else {
+			// occ is untouched by an aborted pass; the full planner
+			// starts from it clean.
+			entries = s.planner.PlanAll(st.Now(), reqs, occ)
+			s.delta.Adopt(reqs, entries)
+			if tried {
+				// A bootstrap pass (no records to reuse yet) is not a
+				// fallback; the counters track reuse that was possible
+				// but abandoned.
+				s.obs.CountReplanFallback()
+				s.obs.ObserveReplanScope(len(reqs), len(reqs))
+			}
+		}
+	} else {
+		entries = s.planner.PlanAll(st.Now(), reqs, occ)
+	}
 	if s.obs != nil {
 		s.obs.Record(obs.Event{
 			Time:       st.Now(),
@@ -281,7 +335,7 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKi
 		rs := span.ReplanSpan{
 			Time: st.Now(), Kind: kind, Trigger: trigger,
 			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
-			Plans: spanPlans(flows, entries),
+			Scope: scope, Plans: spanPlans(flows, entries),
 		}
 		s.spans.Replan(rs)
 		s.declog.Replan(st.Now(), rs)
@@ -400,6 +454,9 @@ func (s *Scheduler) ensurePlanner(st *sim.State) {
 	if s.planner == nil {
 		s.planner = &Planner{Graph: st.Graph(), Routing: st.Routing(),
 			MaxPaths: s.cfg.MaxPaths, Workers: s.cfg.PlannerWorkers}
+		if s.cfg.Incremental {
+			s.delta = NewDeltaPlanner(s.planner, s.cfg.IncrementalMaxDirtyFrac)
+		}
 	}
 }
 
@@ -502,6 +559,15 @@ func (s *Scheduler) applyRejectRule(st *sim.State, task *sim.Task, plan *allocat
 // rejected newcomer — the engine dispatches the matching hook and event.
 func (s *Scheduler) discardTask(st *sim.State, id sim.TaskID, preempted bool) {
 	s.discarded[id] = true
+	if s.delta != nil {
+		// Preempt/KillTask bypass OnFlowFinished, so revoke every flow of
+		// the doomed task here.
+		if task := st.Task(id); task != nil {
+			for _, fid := range task.Flows {
+				s.delta.Revoke(st.Now(), uint64(fid))
+			}
+		}
+	}
 	if preempted {
 		st.PreemptTask(id, "taps: task preempted by reject rule")
 	} else {
@@ -542,8 +608,14 @@ func (s *Scheduler) commit(st *sim.State, plan *allocation) {
 	}
 }
 
-// OnFlowFinished implements sim.Scheduler (plan already accounts for it).
-func (s *Scheduler) OnFlowFinished(st *sim.State, f *sim.Flow) {}
+// OnFlowFinished implements sim.Scheduler (plan already accounts for it);
+// the delta planner drops the flow's record so its slices free up for
+// later incremental passes.
+func (s *Scheduler) OnFlowFinished(st *sim.State, f *sim.Flow) {
+	if s.delta != nil {
+		s.delta.Revoke(st.Now(), uint64(f.ID))
+	}
+}
 
 // OnTaskRejected implements sim.Scheduler. The decision originates here
 // (discardTask), so there is nothing left to react to.
@@ -556,6 +628,10 @@ func (s *Scheduler) OnTaskPreempted(st *sim.State, task *sim.Task) {}
 // reject rule enabled this only happens for flows of tasks the rule chose
 // to sacrifice mid-flight; with it disabled (ablation) it is the norm.
 func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
+	if s.delta != nil {
+		// Kills bypass OnFlowFinished, so revoke here.
+		s.delta.Revoke(st.Now(), uint64(f.ID))
+	}
 	st.KillFlow(f, "taps: deadline missed")
 }
 
@@ -563,6 +639,11 @@ func (s *Scheduler) OnDeadlineMissed(st *sim.State, f *sim.Flow) {
 // excludes the dead link, so the planner routes around it, re-packing
 // slices onto the remaining capacity.
 func (s *Scheduler) OnLinkDown(st *sim.State, link topology.LinkID) {
+	if s.delta != nil {
+		// Routing changed under us: every cached path and candidate-link
+		// set may now cross the dead link. Start over from a full plan.
+		s.delta.Invalidate()
+	}
 	s.commit(st, s.replanActive(st, span.ReplanRecovery, span.NoTask))
 }
 

@@ -23,6 +23,13 @@ type ControllerConfig struct {
 	MaxPaths int
 	// NoPreemption disables the preemption branch of the reject rule.
 	NoPreemption bool
+	// Incremental enables delta replanning: per-arrival passes re-plan
+	// only flows whose feasibility can have changed, falling back to a
+	// full pass when the dirty set grows past IncrementalMaxDirtyFrac.
+	Incremental bool
+	// IncrementalMaxDirtyFrac caps an incremental pass's dirty set as a
+	// fraction of all in-flight flows (default core.DefaultMaxDirtyFrac).
+	IncrementalMaxDirtyFrac float64
 	// Logf receives controller diagnostics (default: discards).
 	Logf func(format string, args ...any)
 }
@@ -75,6 +82,7 @@ type Controller struct {
 	graph   *topology.Graph
 	routing topology.Routing
 	planner *core.Planner
+	delta   *core.DeltaPlanner // nil unless cfg.Incremental
 	epoch   time.Time
 	obs     *obs.Recorder
 	spans   *span.Recorder
@@ -97,11 +105,17 @@ type Controller struct {
 // NewController builds a controller for the topology.
 func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) *Controller {
 	cfg = cfg.withDefaults()
+	planner := &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths}
+	var delta *core.DeltaPlanner
+	if cfg.Incremental {
+		delta = core.NewDeltaPlanner(planner, cfg.IncrementalMaxDirtyFrac)
+	}
 	return &Controller{
 		cfg:       cfg,
 		graph:     g,
 		routing:   r,
-		planner:   &core.Planner{Graph: g, Routing: r, MaxPaths: cfg.MaxPaths},
+		planner:   planner,
+		delta:     delta,
 		epoch:     time.Now(), //taps:allow wallclock real controller: the virtual clock is anchored to a wall-clock epoch
 		obs:       obs.NewRecorder(obs.Options{}),
 		spans:     span.NewRecorder(),
@@ -438,7 +452,12 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 		if rem <= 0 {
 			// Virtually complete per the authoritative plan; the TERM
 			// just has not arrived yet. Nothing to schedule, and the
-			// flow must not count as a miss.
+			// flow must not count as a miss. Its planned occupancy
+			// vanishes from this pass, so the delta planner must hear
+			// about it (Revoke is idempotent across passes).
+			if c.delta != nil {
+				c.delta.Revoke(now, f.id)
+			}
 			continue
 		}
 		items = append(items, item{f, core.FlowReq{
@@ -462,7 +481,31 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 	}
 	t0 := time.Now() //taps:allow wallclock obs-only planner latency; never feeds virtual time
 	p0 := c.planner.PathsTried()
-	entries := c.planner.PlanAll(now, reqs, nil)
+	var entries []core.PlanEntry
+	scope := 0
+	if c.delta != nil {
+		ds, ok := core.DeltaStats{}, false
+		tried := c.delta.Records() > 0
+		if tried {
+			entries, ds, ok = c.delta.PlanAll(now, reqs, nil)
+		}
+		if ok {
+			kind, scope = span.ReplanIncremental, ds.Replanned
+			c.obs.ObserveReplanScope(ds.Replanned, len(reqs))
+		} else {
+			entries = c.planner.PlanAll(now, reqs, nil)
+			c.delta.Adopt(reqs, entries)
+			if tried {
+				// A bootstrap pass (no records to reuse yet) is not a
+				// fallback; the counters track reuse that was possible
+				// but abandoned.
+				c.obs.CountReplanFallback()
+				c.obs.ObserveReplanScope(len(reqs), len(reqs))
+			}
+		}
+	} else {
+		entries = c.planner.PlanAll(now, reqs, nil)
+	}
 	c.obs.Record(obs.Event{
 		Time:       now,
 		Kind:       obs.KindReplan,
@@ -479,6 +522,7 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 		rs := span.ReplanSpan{
 			Time: now, Kind: kind, Trigger: trigger, Flows: len(reqs),
 			PathsTried: c.planner.PathsTried() - p0,
+			Scope:      scope,
 			Plans:      planSpans(planned, entries),
 		}
 		c.spans.Replan(rs)
@@ -526,7 +570,11 @@ func (c *Controller) fractionLocked(now simtime.Time) func(int64) float64 {
 // dropTaskLocked forgets a task's flows.
 func (c *Controller) dropTaskLocked(task int64) {
 	c.accepted[task] = false
+	now := c.now()
 	for _, fid := range c.taskFlows[task] {
+		if c.delta != nil {
+			c.delta.Revoke(now, fid)
+		}
 		delete(c.flows, fid)
 	}
 	delete(c.taskFlows, task)
@@ -577,6 +625,9 @@ func (c *Controller) onTerm(t TermMsg) {
 	}
 	f.done = true
 	now := c.now()
+	if c.delta != nil {
+		c.delta.Revoke(now, f.id)
+	}
 	c.spans.FlowEnded(int64(f.id), now, true, now <= f.deadline, "")
 	c.declog.FlowEnded(now, int64(f.id), true, now <= f.deadline, "")
 	for _, fid := range c.taskFlows[f.task] {

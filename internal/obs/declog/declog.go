@@ -218,6 +218,12 @@ func encodeRecord(b []byte, r *Record) []byte {
 		b = binary.AppendVarint(b, rs.Trigger)
 		b = binary.AppendVarint(b, int64(rs.Flows))
 		b = binary.AppendVarint(b, rs.PathsTried)
+		if rs.Kind == span.ReplanIncremental {
+			// Scope exists only for incremental passes, keyed on the kind
+			// byte already written, so logs from before the delta planner
+			// (which never contain this kind) stay byte-identical.
+			b = binary.AppendVarint(b, int64(rs.Scope))
+		}
 		b = binary.AppendUvarint(b, uint64(len(rs.Plans)))
 		for i := range rs.Plans {
 			b = encodePlan(b, &rs.Plans[i])
@@ -341,6 +347,9 @@ func decodeRecord(payload []byte) (Record, error) {
 		rs.Trigger = d.varint()
 		rs.Flows = int(d.varint())
 		rs.PathsTried = d.varint()
+		if rs.Kind == span.ReplanIncremental {
+			rs.Scope = int(d.varint())
+		}
 		n := d.count()
 		rs.Plans = make([]span.PlanSpan, n)
 		for i := range rs.Plans {

@@ -128,7 +128,20 @@ type Recorder struct {
 	declogRecords uint64
 	declogBytes   uint64
 	declogTruncs  uint64
+
+	// Delta-planner replan scope: per incremental pass, the fraction of
+	// in-flight flows that were actually re-planned (dirty set / total),
+	// in ten linear ratio buckets, plus how often the planner fell back
+	// to a full re-plan.
+	scopeBuckets  [scopeBucketCount]uint64
+	scopeSum      float64
+	scopeCount    uint64
+	fullFallbacks uint64
 }
+
+// scopeBucketCount is the number of linear ratio buckets of the
+// taps_replan_scope histogram: bucket i covers (i/10, (i+1)/10].
+const scopeBucketCount = 10
 
 // NewRecorder returns an enabled recorder.
 func NewRecorder(opts Options) *Recorder {
@@ -328,6 +341,68 @@ func (r *Recorder) DeclogStats() DeclogStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return DeclogStats{Records: r.declogRecords, Bytes: r.declogBytes, Truncations: r.declogTruncs}
+}
+
+// ReplanScope is a snapshot of the delta planner's dirty-set observability:
+// a linear histogram over the re-planned fraction of each pass and the
+// full-fallback count.
+type ReplanScope struct {
+	// Buckets[i] counts passes whose dirty fraction fell in
+	// (i/10, (i+1)/10]; a fraction of exactly 0 lands in Buckets[0].
+	Buckets [scopeBucketCount]uint64
+	// Sum is the sum of observed fractions; Count the number of passes.
+	Sum   float64
+	Count uint64
+	// FullFallbacks counts passes the delta planner abandoned (dirty set
+	// over budget, first pass, or invalidated index), decided by a full
+	// re-plan instead.
+	FullFallbacks uint64
+}
+
+// ObserveReplanScope folds one incremental pass into the replan-scope
+// histogram: replanned of total flows went through first-fit. No-op on nil.
+func (r *Recorder) ObserveReplanScope(replanned, total int) {
+	if r == nil {
+		return
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(replanned) / float64(total)
+	}
+	b := 0
+	if total > 0 && replanned > 0 {
+		b = (replanned*scopeBucketCount - 1) / total // ceil(frac*10) - 1
+		if b >= scopeBucketCount {
+			b = scopeBucketCount - 1
+		}
+	}
+	r.mu.Lock()
+	r.scopeBuckets[b]++
+	r.scopeSum += frac
+	r.scopeCount++
+	r.mu.Unlock()
+}
+
+// CountReplanFallback counts one delta-planner pass that fell back to the
+// full re-plan. No-op on nil.
+func (r *Recorder) CountReplanFallback() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fullFallbacks++
+	r.mu.Unlock()
+}
+
+// ReplanScopeStats returns a snapshot of the replan-scope counters.
+func (r *Recorder) ReplanScopeStats() ReplanScope {
+	if r == nil {
+		return ReplanScope{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplanScope{Buckets: r.scopeBuckets, Sum: r.scopeSum,
+		Count: r.scopeCount, FullFallbacks: r.fullFallbacks}
 }
 
 // DeclogSyncLatency returns the decision-log fsync latency histogram (nil

@@ -89,12 +89,18 @@ const (
 	ReplanPostPreempt
 	// ReplanRecovery re-plans around an injected link failure.
 	ReplanRecovery
+	// ReplanIncremental is an arrival pass the delta planner decided:
+	// only the dirty set (Scope flows) went through first-fit planning,
+	// the rest re-emitted validated allocations. Bit-identical plans to
+	// an arrival pass, by construction.
+	ReplanIncremental
 
 	replanKindCount
 )
 
 var replanKindNames = [replanKindCount]string{
 	"arrival", "fast-admit", "post-reject", "post-preempt", "recovery",
+	"incremental",
 }
 
 func (k ReplanKind) String() string {
@@ -127,7 +133,11 @@ type ReplanSpan struct {
 	Trigger    int64 // task that caused the pass (NoTask for recovery)
 	Flows      int   // flows handed to the planner
 	PathsTried int64 // candidate paths examined across the pass
-	Plans      []PlanSpan
+	// Scope is the dirty-set size of a ReplanIncremental pass: how many
+	// of Flows were actually re-planned (the rest were re-emitted from
+	// the delta planner's records). Zero for every other kind.
+	Scope int
+	Plans []PlanSpan
 }
 
 // Holder is one accepted task occupying slices on a blocking link.

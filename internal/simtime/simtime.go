@@ -95,6 +95,10 @@ func (s IntervalSet) Clone() IntervalSet {
 	return IntervalSet{ivs: out}
 }
 
+// Reset empties the set, keeping the backing array for reuse: a warm
+// scratch set refilled every pass never re-allocates.
+func (s *IntervalSet) Reset() { s.ivs = s.ivs[:0] }
+
 // Intervals returns the normalized intervals of the set. The returned slice
 // must not be mutated.
 func (s IntervalSet) Intervals() []Interval { return s.ivs }
@@ -171,6 +175,17 @@ func (s *IntervalSet) Add(iv Interval) {
 		return
 	}
 	n := len(s.ivs)
+	// Append fast path: occupancy is built in roughly increasing start
+	// order (first-fit in deadline order), so most insertions land past
+	// the current tail.
+	if n == 0 || iv.Start > s.ivs[n-1].End {
+		s.ivs = append(s.ivs, iv)
+		return
+	}
+	if iv.Start == s.ivs[n-1].End {
+		s.ivs[n-1].End = max(s.ivs[n-1].End, iv.End)
+		return
+	}
 	// Insertion window [lo, hi): all intervals that overlap or touch iv.
 	// lo is the first interval with End >= iv.Start, hi the first with
 	// Start > iv.End.
