@@ -15,9 +15,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own determinism/simulated-time analyzers (see
-# DESIGN.md §8). Prints every finding across all packages, exits non-zero
-# on any; a clean run prints nothing.
+# lint runs the repo's own determinism/concurrency/hot-path analyzers
+# (DESIGN.md §8 and §12). Prints every finding across all packages and
+# ratchets against lint.baseline.json: new findings exit non-zero,
+# grandfathered ones print with a (baselined) tag. A clean run prints
+# nothing.
 lint:
 	$(GO) run ./cmd/tapslint ./...
 

@@ -128,7 +128,7 @@ func writeReplaySummary(out io.Writer, path string, rp *declog.Replayer, tree *s
 			preempted++
 		case span.OutcomeKilled:
 			killed++
-		default:
+		case span.OutcomeRunning:
 			running++
 		}
 	}

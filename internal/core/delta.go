@@ -160,6 +160,8 @@ func (d *DeltaPlanner) Records() int { return len(d.recs) }
 // none) with the resulting per-link occupancy. ok=false means the pass
 // aborted: no usable entries, occ untouched; run the full planner and
 // hand its result to Adopt.
+//
+//taps:hotpath
 func (d *DeltaPlanner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topology.LinkID]simtime.IntervalSet) ([]PlanEntry, DeltaStats, bool) {
 	stats := DeltaStats{Flows: len(reqs)}
 	if len(d.recs) == 0 {
@@ -169,16 +171,16 @@ func (d *DeltaPlanner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topolog
 	}
 	p := d.planner
 	if n := p.Graph.NumLinks(); len(d.occScratch) < n {
-		d.occScratch = append(d.occScratch, make([]simtime.IntervalSet, n-len(d.occScratch))...)
+		d.occScratch = append(d.occScratch, make([]simtime.IntervalSet, n-len(d.occScratch))...) //taps:allow hotpathalloc grow-once scratch, sized to the link count and reused every pass
 	}
 	for i := range d.occScratch {
 		d.occScratch[i].Reset()
 	}
-	v := &occView{dense: d.occScratch}
+	v := &occView{dense: d.occScratch} //taps:allow hotpathalloc two-word view header per pass; the dense backing array is the reused scratch
 	window := p.planWindow(now, reqs, v)
 	maxDirty := d.MaxDirty(len(reqs))
 	if cap(d.entriesScratch) < len(reqs) {
-		d.entriesScratch = make([]PlanEntry, len(reqs))
+		d.entriesScratch = make([]PlanEntry, len(reqs)) //taps:allow hotpathalloc grow-once scratch, reused across passes once it fits
 	}
 	entries := d.entriesScratch[:len(reqs)]
 	for i, r := range reqs {
@@ -212,6 +214,8 @@ func (d *DeltaPlanner) PlanAll(now simtime.Time, reqs []FlowReq, occ map[topolog
 // reuse screens one flow against its record and, when any tier proves the
 // stored allocation is exactly what planOne would produce against the
 // current pass prefix in v, returns the re-emitted entry.
+//
+//taps:hotpath
 func (d *DeltaPlanner) reuse(now simtime.Time, r FlowReq, window simtime.Interval, v *occView) (PlanEntry, bool) {
 	if r.Src == r.Dst || r.Bytes <= 0 {
 		// planOne's trivial case; a leftover record's future grant (if
@@ -262,6 +266,8 @@ func (d *DeltaPlanner) reuse(now simtime.Time, r FlowReq, window simtime.Interva
 // and path 0 delivers exactly that at the lowest index. The emitted
 // allocation clips the consumed prefix; the clip lives strictly in the past
 // so no other flow's planning inputs change (no generation bump).
+//
+//taps:hotpath
 func (d *DeltaPlanner) reuseHead(now simtime.Time, r FlowReq, window simtime.Interval, v *occView, rec *deltaRec, cc *candCache) (PlanEntry, bool) {
 	if rec.pathIndex != 0 || rec.linerate <= 0 || rec.linerate != cc.rate {
 		return PlanEntry{}, false

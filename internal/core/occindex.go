@@ -53,6 +53,8 @@ func (x *occIndex) grow(l topology.LinkID) {
 // clock once for the whole batch. free additionally marks the mutation as
 // returning capacity (revocation / vacated region), which widens what later
 // passes must re-examine.
+//
+//taps:hotpath
 func (x *occIndex) bump(path topology.Path, free bool) {
 	if len(path) == 0 {
 		return
@@ -69,6 +71,8 @@ func (x *occIndex) bump(path topology.Path, free bool) {
 
 // maxTouch returns the newest touch generation across links; links never
 // touched read as generation 0.
+//
+//taps:hotpath
 func (x *occIndex) maxTouch(links []topology.LinkID) uint64 {
 	var m uint64
 	for _, l := range links {
@@ -80,6 +84,8 @@ func (x *occIndex) maxTouch(links []topology.LinkID) uint64 {
 }
 
 // maxFree returns the newest free generation across links.
+//
+//taps:hotpath
 func (x *occIndex) maxFree(links []topology.LinkID) uint64 {
 	var m uint64
 	for _, l := range links {

@@ -80,6 +80,8 @@ type evalScratch struct {
 // assigned candidate path, tracking the (finish, index)-lowest winner in
 // sc. next distributes path indices; in sequential mode it is local, in
 // parallel mode it is shared by all workers.
+//
+//taps:hotpath
 func (p *Planner) evalCandidates(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView, paths []topology.Path, sc *evalScratch, next *atomic.Int64) {
 	sc.bestIdx, sc.bestFinish = -1, simtime.Infinity
 	for {
@@ -119,6 +121,7 @@ type occView struct {
 	dense []simtime.IntervalSet
 }
 
+//taps:hotpath
 func (v *occView) get(l topology.LinkID) simtime.IntervalSet {
 	if v.dense != nil {
 		if int(l) < len(v.dense) {
@@ -137,6 +140,8 @@ func (v *occView) get(l topology.LinkID) simtime.IntervalSet {
 
 // add unions slices into link l's occupancy, cloning from base first in
 // copy-on-write mode.
+//
+//taps:hotpath
 func (v *occView) add(l topology.LinkID, slices *simtime.IntervalSet) {
 	if v.dense != nil {
 		for int(l) >= len(v.dense) {
@@ -228,6 +233,8 @@ func (p *Planner) planAll(now simtime.Time, reqs []FlowReq, occ *occView) []Plan
 
 // planOne runs Alg. 2 lines 2-14 for a single flow and commits its slices
 // to occ.
+//
+//taps:hotpath
 func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView) PlanEntry {
 	best := PlanEntry{Finish: simtime.Infinity, PathIndex: -1}
 	if r.Src == r.Dst || r.Bytes <= 0 {
@@ -263,6 +270,8 @@ func (p *Planner) planOne(now simtime.Time, r FlowReq, window simtime.Interval, 
 // k-way merge of the links' occupancies, idle = complement within the
 // window, allocation = first E units of idle. The taken slices are left in
 // sc.taken; nothing is allocated once sc is warm.
+//
+//taps:hotpath
 func (p *Planner) evalPath(now simtime.Time, r FlowReq, window simtime.Interval, occ *occView, path topology.Path, sc *evalScratch) (simtime.Time, bool) {
 	e := durationFor(r.Bytes, p.Graph.MinCapacity(path))
 	sc.sets = sc.sets[:0]

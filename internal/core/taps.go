@@ -246,7 +246,7 @@ func (s *Scheduler) less(a, b *sim.Flow) bool {
 		return sched.EDFLess(a, b)
 	case OrderSJF:
 		return sched.SJFLess(a, b)
-	default:
+	default: //taps:allow kindexhaustive the zero value OrderEDFSJF is the documented fallback; new orderings must route here explicitly
 		return sched.EDFSJFLess(a, b)
 	}
 }
@@ -337,8 +337,8 @@ func (s *Scheduler) planAll(st *sim.State, flows []*sim.Flow, kind span.ReplanKi
 			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
 			Scope: scope, Plans: spanPlans(flows, entries),
 		}
-		s.spans.Replan(rs)
 		s.declog.Replan(st.Now(), rs)
+		s.spans.Replan(rs)
 	}
 	a := &allocation{
 		slices: make(map[sim.FlowID]simtime.IntervalSet, len(flows)),
@@ -416,8 +416,8 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 			accepted = false
 			if s.spans != nil || s.declog != nil {
 				blocks := s.buildAttribution(st, task.ID, plan)
-				s.spans.Attribute(int64(task.ID), blocks)
 				s.declog.Attribute(st.Now(), int64(task.ID), blocks)
+				s.spans.Attribute(int64(task.ID), blocks)
 			}
 			s.declog.Reject(st.Now(), int64(task.ID), "taps: task discarded by reject rule")
 			s.discardTask(st, task.ID, false)
@@ -425,12 +425,12 @@ func (s *Scheduler) decide(st *sim.State, task *sim.Task) {
 		} else if victim >= 0 {
 			// An existing task is preempted in favor of the newcomer.
 			if s.spans != nil || s.declog != nil {
-				s.spans.PreemptedBy(int64(victim), int64(task.ID))
 				s.declog.Preempt(st.Now(), int64(victim), int64(task.ID),
 					st.TaskCompletionFraction(victim), "taps: task preempted by reject rule")
+				s.spans.PreemptedBy(int64(victim), int64(task.ID))
 				blocks := s.buildAttribution(st, victim, plan)
-				s.spans.Attribute(int64(victim), blocks)
 				s.declog.Attribute(st.Now(), int64(victim), blocks)
+				s.spans.Attribute(int64(victim), blocks)
 			}
 			s.discardTask(st, victim, true)
 			plan = s.replanActive(st, span.ReplanPostPreempt, int64(victim))
@@ -509,8 +509,8 @@ func (s *Scheduler) admitIncrementally(st *sim.State, task *sim.Task) bool {
 			Flows: len(flows), PathsTried: s.planner.PathsTried() - p0,
 			Plans: spanPlans(flows, entries),
 		}
-		s.spans.Replan(rs)
 		s.declog.Replan(st.Now(), rs)
+		s.spans.Replan(rs)
 	}
 	now := st.Now()
 	g := st.Graph()
@@ -550,6 +550,8 @@ func (s *Scheduler) applyRejectRule(st *sim.State, task *sim.Task, plan *allocat
 		return -1, false
 	case Preempt:
 		return victim, true
+	case Accept:
+		return -1, true
 	}
 	return -1, true
 }
@@ -657,13 +659,15 @@ func (s *Scheduler) OnLinkDown(st *sim.State, link topology.LinkID) {
 // particular one far past the current horizon minimum — is served from the
 // cache without re-searching its slice set. The cache is invalidated by
 // commit (full re-plan) and per flow by fast admission.
+//
+//taps:hotpath
 func (s *Scheduler) Rates(st *sim.State) (sim.RateMap, simtime.Time) {
 	now := st.Now()
 	if len(s.pending) > 0 && now >= s.flushAt {
 		s.flushPending(st)
 	}
 	if s.rates == nil {
-		s.rates = make(sim.RateMap)
+		s.rates = make(sim.RateMap) //taps:allow hotpathalloc one-time lazy init; cleared and reused every tick thereafter
 	}
 	clear(s.rates)
 	rates := s.rates

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EmitParity structurally enforces the flight recorder's byte-identical
+// replay guarantee. The decision log (internal/obs/declog) is the source
+// of truth: replaying it must reconstruct the live span trees exactly, so
+// every span emission in the packages that hold both a span.Recorder and a
+// declog.Writer must be mirrored by the corresponding decision-log record
+// — in the same function, and with the declog write lexically first
+// (write-ahead: if the process dies between the two, the log must already
+// hold what the spans would have shown).
+//
+// A span call with no paired declog call in its function means replay
+// silently diverges from the live trees; a span call that precedes its
+// declog twin means a crash window where the authoritative log is behind
+// derived state. Both are findings. Emission helpers that legitimately
+// run without a log (the replayer itself rebuilding spans from records)
+// live in the declog package, which is out of scope by construction.
+var EmitParity = &Analyzer{
+	Name: "emitparity",
+	Doc:  "every span.Recorder emission needs its declog.Writer twin in the same function, declog (write-ahead) first",
+	AppliesTo: scoped(
+		"taps/internal/core",
+		"taps/internal/netctl",
+		"taps/internal/sim",
+	),
+	Run: runEmitParity,
+}
+
+const (
+	spanPkgPath   = "taps/internal/obs/span"
+	declogPkgPath = "taps/internal/obs/declog"
+)
+
+// emitPairs maps each span.Recorder emission method to the declog.Writer
+// record that mirrors it. Span methods not listed here (Snapshot, Trees)
+// are reads, not emissions.
+var emitPairs = map[string]string{
+	"TaskArrived":    "TaskArrived",
+	"FlowArrived":    "TaskArrived", // flow arrivals ride in the task-arrival record
+	"Replan":         "Replan",
+	"TaskEnded":      "TaskEnded",
+	"FlowEnded":      "FlowEnded",
+	"Attribute":      "Attribute",
+	"PreemptedBy":    "Preempt",
+	"LinkWentDown":   "LinkDown",
+	"ImportSegments": "Segments",
+}
+
+func runEmitParity(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkEmitParity(fd)
+		}
+	}
+}
+
+type spanEmit struct {
+	method string
+	pos    token.Pos
+}
+
+func (p *Pass) checkEmitParity(fd *ast.FuncDecl) {
+	var spans []spanEmit
+	declogPos := make(map[string][]token.Pos) // declog method -> call positions
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case p.isMethodOn(sel, spanPkgPath, "Recorder"):
+			if _, emits := emitPairs[sel.Sel.Name]; emits {
+				spans = append(spans, spanEmit{sel.Sel.Name, call.Pos()})
+			}
+		case p.isMethodOn(sel, declogPkgPath, "Writer"):
+			declogPos[sel.Sel.Name] = append(declogPos[sel.Sel.Name], call.Pos())
+		}
+		return true
+	})
+	for _, s := range spans {
+		pair := emitPairs[s.method]
+		positions := declogPos[pair]
+		if len(positions) == 0 {
+			p.Reportf(s.pos,
+				"span %s emitted without declog.%s in %s; replay of the decision log will diverge from the live span trees",
+				s.method, pair, fd.Name.Name)
+			continue
+		}
+		// Write-ahead: some declog twin must already have been written by
+		// the time this span call runs — lexically earlier in the function.
+		ahead := false
+		for _, dp := range positions {
+			if dp < s.pos {
+				ahead = true
+				break
+			}
+		}
+		if !ahead {
+			p.Reportf(s.pos,
+				"span %s emitted before its declog.%s twin in %s; the decision log is write-ahead — emit the record first",
+				s.method, pair, fd.Name.Name)
+		}
+	}
+}
+
+// isMethodOn reports whether sel names a method whose receiver is (a
+// pointer to) the named type pkgPath.typeName.
+func (p *Pass) isMethodOn(sel *ast.SelectorExpr, pkgPath, typeName string) bool {
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	rt := tv.Type
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == typeName
+}

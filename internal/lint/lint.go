@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"slices"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and a
@@ -52,6 +53,12 @@ type Analyzer struct {
 	AppliesTo func(pkgPath string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// Reset, if non-nil, is called once at the start of every lint.Run
+	// sweep, before any package is analyzed. Analyzers that accumulate
+	// module-wide state across packages (lockorder's acquisition-order
+	// graph) use it to start each sweep from a clean slate, so repeated
+	// Run calls in one process (the test harness) stay independent.
+	Reset func()
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -64,6 +71,11 @@ type Pass struct {
 
 	allow directiveIndex
 	diags *[]Diagnostic
+
+	// callFuns records selector expressions seen as call targets during a
+	// lockorder walk (parents visit before children, so a CallExpr's Fun is
+	// registered before the SelectorExpr itself is reached).
+	callFuns map[*ast.SelectorExpr]bool
 }
 
 // Reportf records a finding at pos unless a //taps:allow directive for
@@ -132,18 +144,39 @@ func collectDirectives(pkg *Package) directiveIndex {
 	return ix
 }
 
+// Timing is one analyzer's accumulated wall time across a lint.Run sweep
+// (all packages it opted into). Reported by tapslint -v.
+type Timing struct {
+	Name string
+	Wall time.Duration
+}
+
 // Run applies every analyzer to every package it opts into and returns all
 // surviving diagnostics sorted by position — the full cross-package sweep,
 // never stopping at the first finding, so one tapslint run shows
 // everything there is to fix.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithTimings(pkgs, analyzers)
+	return diags
+}
+
+// RunWithTimings is Run plus per-analyzer wall time, in analyzer order.
+func RunWithTimings(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Name = a.Name
+		if a.Reset != nil {
+			a.Reset()
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allow := collectDirectives(pkg)
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
+			start := time.Now()
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -153,6 +186,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				allow:    allow,
 				diags:    &diags,
 			})
+			timings[i].Wall += time.Since(start)
 		}
 	}
 	slices.SortFunc(diags, func(a, b Diagnostic) int {
@@ -167,12 +201,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return cmp.Compare(a.Check, b.Check)
 	})
-	return diags
+	return diags, timings
 }
 
 // All returns the registered analyzer set, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, GlobalRand, MapOrder, ScratchEscape}
+	return []*Analyzer{Wallclock, GlobalRand, MapOrder, ScratchEscape,
+		LockOrder, EmitParity, KindExhaustive, HotPathAlloc}
 }
 
 // testdataPrefix marks the lint fixtures: scoped analyzers always opt into

@@ -84,10 +84,96 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestWallclockFixture(t *testing.T)     { runFixture(t, Wallclock, "wallclock") }
-func TestGlobalRandFixture(t *testing.T)    { runFixture(t, GlobalRand, "globalrand") }
-func TestMapOrderFixture(t *testing.T)      { runFixture(t, MapOrder, "maporder") }
-func TestScratchEscapeFixture(t *testing.T) { runFixture(t, ScratchEscape, "scratchescape") }
+func TestWallclockFixture(t *testing.T)      { runFixture(t, Wallclock, "wallclock") }
+func TestGlobalRandFixture(t *testing.T)     { runFixture(t, GlobalRand, "globalrand") }
+func TestMapOrderFixture(t *testing.T)       { runFixture(t, MapOrder, "maporder") }
+func TestScratchEscapeFixture(t *testing.T)  { runFixture(t, ScratchEscape, "scratchescape") }
+func TestLockOrderFixture(t *testing.T)      { runFixture(t, LockOrder, "lockorder") }
+func TestEmitParityFixture(t *testing.T)     { runFixture(t, EmitParity, "emitparity") }
+func TestKindExhaustiveFixture(t *testing.T) { runFixture(t, KindExhaustive, "kindexhaustive") }
+func TestHotPathAllocFixture(t *testing.T)   { runFixture(t, HotPathAlloc, "hotpathalloc") }
+
+// TestEmitParityRegression deliberately compiles a span emission whose
+// declog twin was removed (testdata/emitparity/tagged_missing.go, behind
+// the taps_regress_missing_declog build tag) and asserts emitparity
+// catches it. This ties the analyzer to the replay-determinism property
+// tests: the omission it guards against is exactly what makes a replayed
+// span tree diverge from the live one.
+func TestEmitParityRegression(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Tags = []string{"taps_regress_missing_declog"}
+	pkgs, err := loader.Load("./testdata/emitparity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			t.Fatalf("tagged fixture does not type-check: %v", e)
+		}
+	}
+	found := false
+	for _, d := range Run(pkgs, []*Analyzer{EmitParity}) {
+		if strings.HasSuffix(d.Pos.Filename, "tagged_missing.go") &&
+			strings.Contains(d.Message, "span TaskEnded emitted without declog.TaskEnded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("emitparity did not flag the deliberately dropped declog emission in tagged_missing.go")
+	}
+}
+
+// TestKindExhaustiveCatchesNewKind proves the acceptance criterion: adding
+// a declog.Kind constant without replayer handling fails lint. The
+// constant lives in internal/obs/declog/kind_regress.go behind the
+// taps_regress_newkind build tag, so only this test (and never a real
+// build) sees the extended enum.
+func TestKindExhaustiveCatchesNewKind(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Tags = []string{"taps_regress_newkind"}
+	pkgs, err := loader.Load("../obs/declog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			t.Fatalf("declog with regression kind does not type-check: %v", e)
+		}
+	}
+	hits := 0
+	for _, d := range Run(pkgs, []*Analyzer{KindExhaustive}) {
+		if strings.Contains(d.Message, "KindRegress") {
+			hits++
+		}
+	}
+	// Both the encoder's switch and the replayer's Apply switch must trip.
+	if hits < 2 {
+		t.Fatalf("kindexhaustive flagged %d switches for the unhandled KindRegress, want >= 2 (encoder and replayer)", hits)
+	}
+}
+
+// TestKindExhaustiveCleanWithoutTag is the negative twin: the production
+// declog package (no regression tag) carries no kindexhaustive findings —
+// its one default clause (the decoder's corrupt-input guard) is annotated.
+func TestKindExhaustiveCleanWithoutTag(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("../obs/declog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []*Analyzer{KindExhaustive}); len(diags) != 0 {
+		t.Fatalf("kindexhaustive on production declog: %v", diags)
+	}
+}
 
 // TestTreeExpansionSkipsTestdata guards the ./... contract: the fixture
 // packages (which contain deliberate violations) must only load when named
@@ -146,7 +232,7 @@ func TestAnalyzerSetStable(t *testing.T) {
 		}
 	}
 	got := strings.Join(names, " ")
-	want := "wallclock globalrand maporder scratchescape"
+	want := "wallclock globalrand maporder scratchescape lockorder emitparity kindexhaustive hotpathalloc"
 	if got != want {
 		t.Errorf("All() = %q, want %q", got, want)
 	}

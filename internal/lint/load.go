@@ -10,8 +10,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, type-checked module package.
@@ -35,6 +38,13 @@ type Package struct {
 // packages like net fall back to their pure-Go implementations, which is
 // all the type checker needs.
 //
+// Loading is parallel: module packages are discovered and parsed with a
+// breadth-first sweep over their import graphs (the shared token.FileSet
+// is safe for concurrent use), then type-checked in dependency order with
+// up to GOMAXPROCS packages in flight at once. The stdlib source importer
+// is not concurrency-safe, so stdlib imports serialize on a mutex; only
+// the first request per stdlib package pays the type-check cost.
+//
 // Test files (_test.go) are never loaded: the invariants tapslint guards
 // are about production planning/simulation code, and tests are where
 // wall-clock waits and ad-hoc randomness are legitimate.
@@ -42,9 +52,18 @@ type Loader struct {
 	ModRoot string // absolute path of the module root (dir of go.mod)
 	ModPath string // module path from go.mod
 
-	fset *token.FileSet
-	std  types.ImporterFrom
-	pkgs map[string]*Package // by import path; nil entry = in progress
+	// Tags is an optional set of extra build tags honored during file
+	// selection, mirroring `go build -tags`. Set it before the first Load.
+	// The emitparity regression fixtures use this to hide a deliberately
+	// broken emission site from normal runs.
+	Tags []string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	stdMu sync.Mutex // go/importer's source importer is not thread-safe
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // by import path; completed packages only
 }
 
 // NewLoader locates the enclosing module starting from dir ("" = cwd).
@@ -101,6 +120,15 @@ func findModule(dir string) (root, modpath string, err error) {
 	}
 }
 
+// buildContext returns the file-selection context: the default context with
+// cgo off and the Loader's extra tags applied.
+func (l *Loader) buildContext() build.Context {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	ctx.BuildTags = append([]string(nil), l.Tags...)
+	return ctx
+}
+
 // Load expands the given package patterns (Go-style: a directory like
 // ./internal/core, or a tree like ./... and ./internal/...) and returns the
 // matched packages, parsed and type-checked, sorted by import path.
@@ -113,14 +141,31 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs := make([]*Package, 0, len(dirs))
+	roots := make([]string, 0, len(dirs))
 	for _, dir := range dirs {
-		pkg, err := l.loadDir(dir)
+		path, err := l.importPathFor(dir)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		roots = append(roots, path)
 	}
+	parsed, err := l.parseAll(roots)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.checkAll(parsed); err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(roots))
+	seen := make(map[string]bool)
+	l.mu.Lock()
+	for _, path := range roots {
+		if pkg := l.pkgs[path]; pkg != nil && !seen[path] {
+			seen[path] = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	l.mu.Unlock()
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
 }
@@ -208,48 +253,193 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.ModPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// inProgress marks a package currently being type-checked (cycle guard).
-var inProgress = &Package{}
-
-func (l *Loader) loadDir(dir string) (*Package, error) {
-	path, err := l.importPathFor(dir)
-	if err != nil {
-		return nil, err
-	}
-	return l.loadPackage(path, dir)
+// dirFor is importPathFor's inverse.
+func (l *Loader) dirFor(path string) string {
+	sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(sub))
 }
 
-func (l *Loader) loadPackage(path, dir string) (*Package, error) {
-	switch pkg := l.pkgs[path]; {
-	case pkg == inProgress:
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	case pkg != nil:
-		return pkg, nil
-	}
-	l.pkgs[path] = inProgress
+// parsedPkg is one package after the parse phase, before type-checking.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+	err     error
+}
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
+// parseAll runs the breadth-first discovery sweep: parse every root, then
+// every module-internal import not yet loaded, wave by wave, each wave
+// fanned out across GOMAXPROCS goroutines. The shared FileSet synchronizes
+// internally; everything else is confined to the wave coordinator.
+func (l *Loader) parseAll(roots []string) (map[string]*parsedPkg, error) {
+	parsed := make(map[string]*parsedPkg)
+	queued := make(map[string]bool)
+	var wave []string
+	enqueue := func(path string) {
+		l.mu.Lock()
+		cached := l.pkgs[path] != nil
+		l.mu.Unlock()
+		if !cached && !queued[path] {
+			queued[path] = true
+			wave = append(wave, path)
+		}
 	}
-	var files []*ast.File
+	for _, path := range roots {
+		enqueue(path)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for len(wave) > 0 {
+		batch := make([]*parsedPkg, len(wave))
+		var wg sync.WaitGroup
+		for i, path := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, path string) {
+				defer func() { <-sem; wg.Done() }()
+				batch[i] = l.parseOne(path)
+			}(i, path)
+		}
+		wg.Wait()
+		wave = wave[:0]
+		for _, pp := range batch {
+			parsed[pp.path] = pp
+			for _, imp := range pp.imports {
+				enqueue(imp)
+			}
+		}
+	}
+	// Parse failures abort the whole load, deterministically: report the
+	// lexically first broken package.
+	var bad []string
+	for path, pp := range parsed {
+		if pp.err != nil {
+			bad = append(bad, path)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return nil, parsed[bad[0]].err
+	}
+	return parsed, nil
+}
+
+// parseOne parses one package directory, honoring build tags, and records
+// its module-internal imports for the discovery sweep.
+func (l *Loader) parseOne(path string) *parsedPkg {
+	pp := &parsedPkg{path: path, dir: l.dirFor(path)}
+	entries, err := os.ReadDir(pp.dir)
+	if err != nil {
+		pp.err = err
+		return pp
+	}
+	ctx := l.buildContext()
+	imports := make(map[string]bool)
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+		if ok, err := ctx.MatchFile(pp.dir, name); err != nil || !ok {
+			continue // excluded by build tags or GOOS/GOARCH suffix
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(pp.dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			pp.err = err
+			return pp
 		}
-		files = append(files, f)
+		pp.files = append(pp.files, f)
+		for _, spec := range f.Imports {
+			imp, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if imp == l.ModPath || strings.HasPrefix(imp, l.ModPath+"/") {
+				imports[imp] = true
+			}
+		}
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	if len(pp.files) == 0 {
+		pp.err = fmt.Errorf("lint: no Go files in %s", pp.dir)
+		return pp
 	}
+	for imp := range imports {
+		pp.imports = append(pp.imports, imp)
+	}
+	sort.Strings(pp.imports)
+	return pp
+}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+// checkAll type-checks the parsed packages in dependency order, running up
+// to GOMAXPROCS independent packages concurrently. A package only starts
+// once all its module-internal dependencies are complete, so ImportFrom
+// lookups during Check always hit finished packages. If the scheduler
+// stalls with packages remaining, their imports form a cycle.
+func (l *Loader) checkAll(parsed map[string]*parsedPkg) error {
+	indeg := make(map[string]int, len(parsed))
+	rdeps := make(map[string][]string)
+	var ready []string
+	for path, pp := range parsed {
+		for _, imp := range pp.imports {
+			if _, inBatch := parsed[imp]; inBatch {
+				indeg[path]++
+				rdeps[imp] = append(rdeps[imp], path)
+			}
+		}
+		if indeg[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parsed) {
+		workers = len(parsed)
+	}
+	readyCh := make(chan string, len(parsed))
+	doneCh := make(chan string, len(parsed))
+	for i := 0; i < workers; i++ {
+		go func() {
+			for path := range readyCh {
+				l.checkOne(parsed[path])
+				doneCh <- path
+			}
+		}()
+	}
+	scheduled := 0
+	for _, path := range ready {
+		readyCh <- path
+		scheduled++
+	}
+	for completed := 0; completed < scheduled; completed++ {
+		path := <-doneCh
+		deps := rdeps[path]
+		sort.Strings(deps)
+		for _, r := range deps {
+			if indeg[r]--; indeg[r] == 0 {
+				readyCh <- r
+				scheduled++
+			}
+		}
+	}
+	close(readyCh)
+	if scheduled < len(parsed) {
+		var stuck []string
+		for path := range parsed {
+			if indeg[path] > 0 {
+				stuck = append(stuck, path)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("lint: import cycle through %s", stuck[0])
+	}
+	return nil
+}
+
+// checkOne type-checks one parsed package and publishes it to the cache.
+func (l *Loader) checkOne(pp *parsedPkg) {
+	pkg := &Package{Path: pp.path, Dir: pp.dir, Fset: l.fset}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -264,10 +454,11 @@ func (l *Loader) loadPackage(path, dir string) (*Package, error) {
 		// all at once instead of stopping at the first broken package.
 		Error: func(err error) { pkg.Errs = append(pkg.Errs, err) },
 	}
-	tpkg, _ := conf.Check(path, l.fset, files, info) // errors already in pkg.Errs
-	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
-	l.pkgs[path] = pkg
-	return pkg, nil
+	tpkg, _ := conf.Check(pp.path, l.fset, pp.files, info) // errors already in pkg.Errs
+	pkg.Files, pkg.Types, pkg.Info = pp.files, tpkg, info
+	l.mu.Lock()
+	l.pkgs[pp.path] = pkg
+	l.mu.Unlock()
 }
 
 // Import implements types.Importer.
@@ -275,23 +466,27 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.ModRoot, 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-internal paths load
-// through the Loader (recursively), everything else through the stdlib
-// source importer.
+// ImportFrom implements types.ImporterFrom: module-internal paths resolve
+// against the completed-package cache (the dependency-ordered scheduler
+// guarantees dependencies finish first), everything else goes through the
+// stdlib source importer under a mutex.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
-		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
-		pkg, err := l.loadPackage(path, filepath.Join(l.ModRoot, filepath.FromSlash(sub)))
-		if err != nil {
-			return nil, err
+		l.mu.Lock()
+		pkg := l.pkgs[path]
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: %s not loaded (import cycle?)", path)
 		}
 		if len(pkg.Errs) > 0 {
 			return pkg.Types, fmt.Errorf("lint: %s has type errors: %v", path, pkg.Errs[0])
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
 }

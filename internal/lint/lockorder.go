@@ -1,0 +1,540 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrder guards the controller's concurrency discipline on two fronts.
+//
+// First, a module-wide mutex acquisition-order graph: every site that
+// acquires mutex B while mutex A is held adds the edge A→B, and any edge
+// that closes a cycle (B is already ordered before A somewhere else in the
+// module) is a potential deadlock, reported at the acquiring Lock call.
+// The graph persists across packages within one lint sweep (see
+// Analyzer.Reset), so an inversion split across files still surfaces.
+//
+// Second, "no blocking call under lock": network writes, file I/O, fsync
+// (`Sync`), channel operations, and WaitGroup waits while any mutex is
+// held stall every goroutine queued on that mutex — the exact failure mode
+// a pod-sharded controller cannot afford on its decision lock. The
+// analysis is intraprocedural with a package-local call summary: a
+// function containing a blocking operation is itself blocking, and calling
+// it under a lock is flagged, except for `*Locked`-suffixed methods, whose
+// bodies are analyzed as holding their receiver's `mu` already (the
+// netctl convention), so the finding lands at the deepest frame once.
+//
+// Deliberate sites — the declog writer's serialized appends, the
+// write-ahead Sync-before-broadcast path — carry //taps:allow lockorder
+// directives with written rationales.
+var LockOrder = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "consistent mutex acquisition order (module-wide cycle check); no blocking I/O, Sync, or channel ops under a held mutex",
+	Run:   runLockOrder,
+	Reset: resetLockOrder,
+}
+
+// lockOrderGraph is the module-wide acquisition-order graph, keyed by the
+// mutex's declaring object (a struct field or variable). It accumulates
+// across every package of one lint sweep and is cleared by Reset.
+var lockOrderGraph struct {
+	edges map[types.Object]map[types.Object]token.Position
+	names map[types.Object]string
+}
+
+func resetLockOrder() {
+	lockOrderGraph.edges = make(map[types.Object]map[types.Object]token.Position)
+	lockOrderGraph.names = make(map[types.Object]string)
+}
+
+// lkEventKind classifies one event of the source-order lock simulation.
+type lkEventKind int
+
+const (
+	lkLock lkEventKind = iota
+	lkUnlock
+	lkBlock // a directly blocking operation
+	lkCall  // a call to a same-package function (candidate summary lookup)
+)
+
+type lkEvent struct {
+	kind   lkEventKind
+	pos    token.Pos
+	mutex  types.Object // lkLock / lkUnlock
+	what   string       // lkBlock: human description of the operation
+	callee *types.Func  // lkCall
+}
+
+// lkFunc is one analyzed function body: a FuncDecl or FuncLit with its
+// entry-held mutex (non-nil for *Locked methods) and its event stream.
+type lkFunc struct {
+	name      string
+	decl      *types.Func // nil for FuncLits
+	entryHeld types.Object
+	events    []lkEvent
+}
+
+func runLockOrder(p *Pass) {
+	funcs := p.collectLockFuncs()
+
+	// Package-local blocking summaries: a function is blocking if it
+	// contains a direct blocking op, or (fixpoint) calls a blocking
+	// same-package function. The summary records the underlying reason so
+	// call-site findings name the real operation.
+	blocking := make(map[*types.Func]string)
+	for _, fn := range funcs {
+		if fn.decl == nil {
+			continue
+		}
+		for _, ev := range fn.events {
+			if ev.kind == lkBlock {
+				blocking[fn.decl] = ev.what
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			if fn.decl == nil || blocking[fn.decl] != "" {
+				continue
+			}
+			for _, ev := range fn.events {
+				if ev.kind == lkCall && blocking[ev.callee] != "" {
+					blocking[fn.decl] = fmt.Sprintf("calls %s (%s)", ev.callee.Name(), blocking[ev.callee])
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fn := range funcs {
+		p.simulateLocks(fn, blocking)
+	}
+}
+
+// collectLockFuncs extracts the event stream of every function body in the
+// package. Nested FuncLits run at another time (goroutines, deferred
+// cleanup, stored callbacks), so each is its own lkFunc with an empty
+// entry-held set rather than part of the enclosing body.
+func (p *Pass) collectLockFuncs() []*lkFunc {
+	var funcs []*lkFunc
+	var scan func(fn *lkFunc, n ast.Node)
+	scan = func(fn *lkFunc, root ast.Node) {
+		// Channel operations that are a select's comm statements are part
+		// of the select's blocking decision, not standalone ops; their
+		// source ranges are excluded from the SendStmt/receive cases.
+		type posRange struct{ lo, hi token.Pos }
+		var commRanges []posRange
+		inComm := func(pos token.Pos) bool {
+			for _, r := range commRanges {
+				if pos >= r.lo && pos < r.hi {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == root {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				sub := &lkFunc{name: fn.name + ".func"}
+				scan(sub, n.Body)
+				funcs = append(funcs, sub)
+				return false
+			case *ast.DeferStmt:
+				// defer m.Unlock() holds to function end: no event. Other
+				// deferred calls run after the body; skip them.
+				return false
+			case *ast.GoStmt:
+				// The spawned call runs concurrently, not under the
+				// caller's locks: `go x.method()` is not an event for this
+				// function. A `go func(){...}()` body still gets its own
+				// scan, starting from an empty held set.
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					sub := &lkFunc{name: fn.name + ".func"}
+					scan(sub, lit.Body)
+					funcs = append(funcs, sub)
+				}
+				return false
+			case *ast.CallExpr:
+				p.lockCallEvents(fn, n)
+			case *ast.SendStmt:
+				if !inComm(n.Pos()) {
+					fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: n.Pos(),
+						what: "channel send"})
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inComm(n.Pos()) {
+					fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: n.Pos(),
+						what: "channel receive"})
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range n.Body.List {
+					cc, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm == nil {
+						hasDefault = true
+					} else {
+						commRanges = append(commRanges, posRange{cc.Comm.Pos(), cc.Comm.End()})
+					}
+				}
+				if !hasDefault {
+					fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: n.Pos(),
+						what: "blocking select"})
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: n.Pos(),
+							what: "range over channel"})
+					}
+				}
+			case *ast.SelectorExpr:
+				// A Sync method *value* (w.f.Sync passed as a callback)
+				// blocks whenever invoked; calls are handled above, so only
+				// record bare method values here.
+				if n.Sel.Name == "Sync" && !p.isCallFun(n) {
+					if s, ok := p.Info.Selections[n]; ok && s.Kind() == types.MethodVal {
+						fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: n.Pos(),
+							what: "Sync (fsync) method value"})
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			fn := &lkFunc{name: fd.Name.Name, decl: obj}
+			fn.entryHeld = p.lockedSuffixMutex(fd)
+			scan(fn, fd.Body)
+			funcs = append(funcs, fn)
+		}
+	}
+	return funcs
+}
+
+// isCallFun reports whether sel is the callee expression of a call (the
+// AST carries no parent links; lockCallEvents registers call targets as
+// their CallExpr parent is visited, before the selector itself).
+func (p *Pass) isCallFun(sel *ast.SelectorExpr) bool {
+	return p.callFuns[sel]
+}
+
+// lockCallEvents classifies one call: mutex Lock/Unlock, a directly
+// blocking operation, or a same-package call worth a summary lookup.
+func (p *Pass) lockCallEvents(fn *lkFunc, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if p.callFuns == nil {
+			p.callFuns = make(map[*ast.SelectorExpr]bool)
+		}
+		p.callFuns[sel] = true
+	}
+	if mu, locks, isMutexOp := p.mutexOp(call); isMutexOp {
+		if mu != nil {
+			kind := lkUnlock
+			if locks {
+				kind = lkLock
+			}
+			fn.events = append(fn.events, lkEvent{kind: kind, pos: call.Pos(), mutex: mu})
+		}
+		return
+	}
+	if what := p.blockingCall(call); what != "" {
+		fn.events = append(fn.events, lkEvent{kind: lkBlock, pos: call.Pos(), what: what})
+		return
+	}
+	// Same-package callee (function or method): candidate for the
+	// blocking-summary lookup during simulation.
+	var callee *types.Func
+	switch funExpr := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = p.Info.Uses[funExpr].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = p.Info.Uses[funExpr.Sel].(*types.Func)
+	}
+	if callee != nil && callee.Pkg() == p.Pkg {
+		fn.events = append(fn.events, lkEvent{kind: lkCall, pos: call.Pos(), callee: callee})
+	}
+}
+
+// mutexOp decodes m.Lock()/RLock()/Unlock()/RUnlock() where the method is
+// sync's, returning the mutex identity object (the field or variable the
+// lock lives in) and whether the op acquires.
+func (p *Pass) mutexOp(call *ast.CallExpr) (mu types.Object, locks, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var isLock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	fnObj, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		mu = p.Info.Uses[x.Sel]
+	case *ast.Ident:
+		mu = p.objectOf(x)
+	}
+	return mu, isLock, true
+}
+
+// blockingIO lists (package path, type name) of receivers whose listed
+// methods perform blocking I/O.
+var blockingIO = []struct {
+	pkg, typ string
+	methods  map[string]bool
+}{
+	{"os", "File", map[string]bool{"Write": true, "Read": true, "Close": true,
+		"Sync": true, "ReadAt": true, "WriteAt": true, "WriteString": true, "Truncate": true, "Seek": true}},
+	{"net", "Conn", map[string]bool{"Write": true, "Read": true, "Close": true}},
+	{"net", "TCPConn", map[string]bool{"Write": true, "Read": true, "Close": true}},
+	{"net", "Listener", map[string]bool{"Accept": true, "Close": true}},
+	{"encoding/json", "Encoder", map[string]bool{"Encode": true}},
+	{"encoding/json", "Decoder", map[string]bool{"Decode": true}},
+	{"bufio", "Reader", map[string]bool{"Read": true, "ReadBytes": true, "ReadString": true, "ReadSlice": true}},
+	{"bufio", "Writer", map[string]bool{"Write": true, "Flush": true, "WriteString": true}},
+	{"sync", "WaitGroup", map[string]bool{"Wait": true}},
+}
+
+// blockingCall reports whether the call is a direct blocking operation,
+// returning a human description ("" = not blocking). sync.Cond.Wait is
+// deliberately not listed: its contract requires the caller to hold the
+// condition's mutex.
+func (p *Pass) blockingCall(call *ast.CallExpr) string {
+	if p.isPkgFunc(call, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Any method named Sync is treated as an fsync-class operation — the
+	// declog writer's Sync, os.File.Sync, and future sinks alike.
+	if sel.Sel.Name == "Sync" {
+		if _, isMethod := p.Info.Selections[sel]; isMethod {
+			return "Sync (fsync)"
+		}
+	}
+	recvTV, ok := p.Info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	rt := recvTV.Type
+	for {
+		if ptr, isPtr := rt.(*types.Pointer); isPtr {
+			rt = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	pkgPath, typName := named.Obj().Pkg().Path(), named.Obj().Name()
+	for _, b := range blockingIO {
+		if b.pkg == pkgPath && b.typ == typName && b.methods[sel.Sel.Name] {
+			return fmt.Sprintf("%s.%s.%s", pkgPath, typName, sel.Sel.Name)
+		}
+	}
+	return ""
+}
+
+// lockedSuffixMutex implements the netctl convention: a method named
+// *Locked on a receiver whose struct type has a sync.Mutex/RWMutex field
+// named mu is analyzed as entering with that mutex held.
+func (p *Pass) lockedSuffixMutex(fd *ast.FuncDecl) types.Object {
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	rt := tv.Type
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mu" {
+			continue
+		}
+		if nt, isNamed := f.Type().(*types.Named); isNamed && nt.Obj().Pkg() != nil &&
+			nt.Obj().Pkg().Path() == "sync" &&
+			(nt.Obj().Name() == "Mutex" || nt.Obj().Name() == "RWMutex") {
+			return f
+		}
+	}
+	return nil
+}
+
+// simulateLocks replays one function's event stream in source order,
+// tracking held mutexes, adding acquisition-order edges, and reporting
+// blocking operations and blocking-function calls under a held lock.
+func (p *Pass) simulateLocks(fn *lkFunc, blocking map[*types.Func]string) {
+	type heldLock struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var held []heldLock
+	if fn.entryHeld != nil {
+		held = append(held, heldLock{fn.entryHeld, token.NoPos})
+	}
+	holds := func(obj types.Object) bool {
+		for _, h := range held {
+			if h.obj == obj {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ev := range fn.events {
+		switch ev.kind {
+		case lkLock:
+			if holds(ev.mutex) {
+				p.Reportf(ev.pos, "mutex %s acquired while already held in %s (self-deadlock)",
+					p.lockName(ev.mutex), fn.name)
+				continue
+			}
+			for _, h := range held {
+				p.addLockEdge(h.obj, ev.mutex, ev.pos)
+			}
+			held = append(held, heldLock{ev.mutex, ev.pos})
+		case lkUnlock:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].obj == ev.mutex {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case lkBlock:
+			if len(held) > 0 {
+				p.Reportf(ev.pos, "%s while %s is held; blocking under a lock stalls every goroutine queued on it",
+					ev.what, p.lockName(held[len(held)-1].obj))
+			}
+		case lkCall:
+			what := blocking[ev.callee]
+			if what == "" || len(held) == 0 {
+				continue
+			}
+			// *Locked methods are analyzed with the lock held already; the
+			// finding lands inside them, not at every caller.
+			if strings.HasSuffix(ev.callee.Name(), "Locked") {
+				continue
+			}
+			p.Reportf(ev.pos, "call to %s (%s) while %s is held; blocking under a lock stalls every goroutine queued on it",
+				ev.callee.Name(), what, p.lockName(held[len(held)-1].obj))
+		}
+	}
+}
+
+// addLockEdge records "to acquired while from held" in the module-wide
+// graph and reports if the new edge closes a cycle.
+func (p *Pass) addLockEdge(from, to types.Object, pos token.Pos) {
+	g := &lockOrderGraph
+	if g.edges == nil {
+		resetLockOrder() // direct Run calls without Reset (tests)
+	}
+	if g.edges[from] == nil {
+		g.edges[from] = make(map[types.Object]token.Position)
+	}
+	if _, dup := g.edges[from][to]; dup {
+		return
+	}
+	g.edges[from][to] = p.Fset.Position(pos)
+	if path := lockPath(to, from); path != nil {
+		parts := make([]string, 0, len(path)+1)
+		for _, o := range path {
+			parts = append(parts, p.lockName(o))
+		}
+		parts = append(parts, p.lockName(to))
+		p.Reportf(pos, "lock order inversion: %s acquired while %s is held, but the reverse order exists (%s); pick one global order",
+			p.lockName(to), p.lockName(from), strings.Join(parts, " -> "))
+	}
+}
+
+// lockPath returns a path from -> ... -> to in the acquisition graph, or
+// nil if none exists.
+func lockPath(from, to types.Object) []types.Object {
+	seen := map[types.Object]bool{from: true}
+	var dfs func(cur types.Object, trail []types.Object) []types.Object
+	dfs = func(cur types.Object, trail []types.Object) []types.Object {
+		if cur == to {
+			return trail
+		}
+		for next := range lockOrderGraph.edges[cur] {
+			if !seen[next] {
+				seen[next] = true
+				if res := dfs(next, append(trail, next)); res != nil {
+					return res
+				}
+			}
+		}
+		return nil
+	}
+	return dfs(from, []types.Object{from})
+}
+
+// lockName renders a mutex object as Owner.field (or pkg.name for
+// non-field mutexes), cached in the module-wide graph state.
+func (p *Pass) lockName(obj types.Object) string {
+	if lockOrderGraph.names == nil {
+		lockOrderGraph.names = make(map[types.Object]string)
+	}
+	if n, ok := lockOrderGraph.names[obj]; ok {
+		return n
+	}
+	name := obj.Name()
+	if v, isVar := obj.(*types.Var); isVar && v.IsField() && obj.Pkg() != nil {
+		scope := obj.Pkg().Scope()
+		for _, tn := range scope.Names() {
+			tobj, isType := scope.Lookup(tn).(*types.TypeName)
+			if !isType {
+				continue
+			}
+			st, isStruct := tobj.Type().Underlying().(*types.Struct)
+			if !isStruct {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					name = tobj.Name() + "." + v.Name()
+				}
+			}
+		}
+	}
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	lockOrderGraph.names[obj] = name
+	return name
+}

@@ -1,0 +1,65 @@
+// Package emitparity is a tapslint fixture: span emissions without their
+// declog twins, span-before-declog ordering violations, and the legal
+// write-ahead pattern.
+package emitparity
+
+import (
+	"taps/internal/obs/declog"
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+type sched struct {
+	spans *span.Recorder
+	log   *declog.Writer
+}
+
+// arrive follows the write-ahead discipline: record first, spans second.
+func (s *sched) arrive(now simtime.Time, task int64, deadline simtime.Time) {
+	s.log.TaskArrived(now, task, deadline, nil)
+	s.spans.TaskArrived(task, now, deadline)
+	s.spans.FlowArrived(task*10, task, now, deadline, "f") // flow arrivals ride the task record
+}
+
+// missing emits a span with no decision-log record anywhere in the
+// function: replay diverges.
+func (s *sched) missing(now simtime.Time, task int64) {
+	s.spans.TaskEnded(task, now, span.OutcomeCompleted, "") // want "span TaskEnded emitted without declog.TaskEnded"
+}
+
+// backwards writes the log after the span: a crash between the two leaves
+// the authoritative log behind the derived state.
+func (s *sched) backwards(now simtime.Time, task int64) {
+	s.spans.TaskEnded(task, now, span.OutcomeCompleted, "") // want "span TaskEnded emitted before its declog.TaskEnded twin"
+	s.log.TaskEnded(now, task, span.OutcomeCompleted, "")
+}
+
+// branches pairs each emission inside its own arm; the lexically earlier
+// record satisfies write-ahead for both.
+func (s *sched) branches(now simtime.Time, flow int64, done bool) {
+	if done {
+		s.log.FlowEnded(now, flow, true, true, "")
+		s.spans.FlowEnded(flow, now, true, true, "")
+	} else {
+		s.log.FlowEnded(now, flow, false, false, "killed")
+		s.spans.FlowEnded(flow, now, false, false, "killed")
+	}
+}
+
+// reads only queries the recorder: Snapshot is not an emission.
+func (s *sched) reads() *span.Tree {
+	return s.spans.Snapshot()
+}
+
+// logOnly emits records with no span twin: legal — the log is the source
+// of truth and may carry more than the derived trees (admits, commits).
+func (s *sched) logOnly(now simtime.Time, task int64) {
+	s.log.Admit(now, task, false)
+	s.log.Commit(now, declog.CommitReplace)
+}
+
+// rebuild mirrors the replayer: span emissions driven from decoded
+// records, annotated because the records already exist by definition.
+func (s *sched) rebuild(now simtime.Time, task int64) {
+	s.spans.TaskArrived(task, now, now) //taps:allow emitparity replaying records that already exist in the log
+}

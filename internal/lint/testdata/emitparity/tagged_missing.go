@@ -1,0 +1,21 @@
+//go:build taps_regress_missing_declog
+
+// This file is the emitparity regression fixture: it deliberately drops
+// the declog.TaskEnded twin of a span emission and is only compiled when
+// the taps_regress_missing_declog build tag is set (the loader's Tags
+// option). TestEmitParityRegression loads the package with the tag enabled
+// and asserts the analyzer reports exactly this site — tying emitparity to
+// the replay-determinism property tests: this is the class of omission
+// that makes a replayed span tree diverge from the live one.
+package emitparity
+
+import (
+	"taps/internal/obs/span"
+	"taps/internal/simtime"
+)
+
+// droppedEmission ends a task in the spans but never logs the record.
+func (s *sched) droppedEmission(now simtime.Time, task int64) {
+	s.log.Admit(now, task, false)
+	s.spans.TaskEnded(task, now, span.OutcomeKilled, "regress")
+}

@@ -1,0 +1,105 @@
+// Package hotpathalloc is a tapslint fixture: alloc-inducing constructs
+// inside //taps:hotpath functions, the arena-append and capture-free
+// closure idioms that stay legal, and unmarked functions that may
+// allocate freely.
+package hotpathalloc
+
+import "fmt"
+
+type arena struct {
+	buf []int
+	tmp []int
+}
+
+// fill appends into the receiver's arena: growth is amortized across
+// calls, not per call.
+//
+//taps:hotpath
+func (a *arena) fill(n int) {
+	for i := 0; i < n; i++ {
+		a.buf = append(a.buf, i)
+	}
+}
+
+// reslice aliases the arena through a local: still arena-rooted.
+//
+//taps:hotpath
+func (a *arena) reslice(n int) {
+	t := a.tmp[:0]
+	for i := 0; i < n; i++ {
+		t = append(t, i)
+	}
+	a.tmp = t
+}
+
+// bad allocates five different ways.
+//
+//taps:hotpath
+func bad(n int) []int {
+	out := []int{}         // want "slice literal allocates"
+	m := make(map[int]int) // want "make allocates"
+	m[n] = n
+	out = append(out, n) // want "append to non-arena slice"
+	fmt.Println(n)       // want "fmt.Println allocates"
+	return out
+}
+
+// closures: a capture-free literal compiles to a static; capturing n does
+// not.
+//
+//taps:hotpath
+func closures(n int) int {
+	cmpFn := func(x, y int) int { return x - y }
+	f := func() int { return n } // want "closure captures n"
+	return cmpFn(f(), 0)
+}
+
+type sink interface{ accept(int) }
+
+type impl struct{}
+
+func (impl) accept(int) {}
+
+func give(s sink) { s.accept(0) }
+
+// box passes a concrete value where an interface is expected.
+//
+//taps:hotpath
+func box(v impl) {
+	give(v) // want "concrete value boxed into interface parameter"
+}
+
+// escape returns a pointer to a composite literal.
+//
+//taps:hotpath
+func escape() *arena {
+	return &arena{} // want "&composite literal escapes"
+}
+
+// fresh uses new.
+//
+//taps:hotpath
+func fresh() *arena {
+	return new(arena) // want "new allocates"
+}
+
+// lazy documents its one-time allocation.
+//
+//taps:hotpath
+func (a *arena) lazy() {
+	if a.buf == nil {
+		a.buf = make([]int, 0, 64) //taps:allow hotpathalloc one-time lazy init, amortized to zero
+	}
+}
+
+// value returns a struct by value: stack-allocated, legal.
+//
+//taps:hotpath
+func value() arena {
+	return arena{}
+}
+
+// cold is unmarked: allocation is nobody's business here.
+func cold() []int {
+	return []int{1, 2, 3}
+}

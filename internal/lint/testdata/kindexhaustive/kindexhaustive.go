@@ -1,0 +1,86 @@
+// Package kindexhaustive is a tapslint fixture: switches over closed
+// enums that miss constants or hide them behind a default, the annotated
+// corrupt-input-guard default, and the open-enum false-positive guard.
+package kindexhaustive
+
+import "taps/internal/obs/declog"
+
+// Mode is a fixture-local closed enum, opted in via the directive.
+//
+//taps:enum
+type Mode uint8
+
+// Fixture modes.
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// partial misses ModeC.
+func partial(m Mode) int {
+	switch m { // want "does not handle ModeC"
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	}
+	return 0
+}
+
+// swallow hides ModeB and ModeC behind an unannotated default.
+func swallow(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	default: // want "default clause"
+		return 0
+	}
+}
+
+// guarded documents why its default exists: legal.
+func guarded(m Mode) int {
+	switch m {
+	case ModeA, ModeB, ModeC:
+		return 1
+	//taps:allow kindexhaustive corrupt-input guard for values decoded from disk
+	default:
+		return 0
+	}
+}
+
+// full covers every constant: legal without a default.
+func full(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	case ModeC:
+		return 3
+	}
+	return 0
+}
+
+// open is NOT annotated //taps:enum: switches over it are unconstrained.
+type open uint8
+
+// OpenA is open's only constant.
+const OpenA open = 0
+
+func openSwitch(o open) int {
+	switch o {
+	default:
+		return 0
+	}
+}
+
+// registry exercises the module registry path: declog.Kind is closed, and
+// this switch handles only one of its twelve kinds.
+func registry(k declog.Kind) string {
+	switch k { // want "does not handle .*KindCommit"
+	case declog.KindMeta:
+		return "meta"
+	}
+	return ""
+}

@@ -1,0 +1,143 @@
+// Package lockorder is a tapslint fixture: blocking operations under a
+// held mutex, acquisition-order inversions, the *Locked-suffix entry
+// convention, plus the legal idioms (post-unlock I/O, goroutine bodies,
+// non-blocking selects, annotated serialized-append sites).
+package lockorder
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu   sync.Mutex
+	wmu  sync.Mutex
+	conn net.Conn
+	f    *os.File
+	enc  *json.Encoder
+	ch   chan int
+}
+
+// blockUnderLock holds mu across network, fsync, and channel operations.
+func (s *server) blockUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(nil) // want "net.Conn.Write while lockorder.server.mu is held"
+	s.f.Sync()        // want "Sync \(fsync\) while lockorder.server.mu is held"
+	s.ch <- 1         // want "channel send while lockorder.server.mu is held"
+}
+
+// afterUnlock releases the lock before the write: legal.
+func (s *server) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.conn.Write(nil)
+}
+
+// send mirrors the netctl codec: a JSON encode under the write mutex.
+func (s *server) send() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.enc.Encode(1) // want "encoding/json.Encoder.Encode while lockorder.server.wmu is held"
+}
+
+// broadcastLocked enters with mu held (suffix convention) and calls a
+// blocking package-local function.
+func (s *server) broadcastLocked() {
+	s.send() // want "call to send .* while lockorder.server.mu is held"
+}
+
+// relay calls the blocking send without holding anything: legal.
+func (s *server) relay() error { return s.send() }
+
+// dispatchLocked calls another *Locked method: the callee's own analysis
+// covers its body, so no finding cascades to this call site.
+func (s *server) dispatchLocked() {
+	s.broadcastLocked()
+}
+
+// spawn launches a goroutine from the critical section; the closure body
+// runs outside it, so its write is legal.
+func (s *server) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.conn.Write(nil) }()
+}
+
+// handoff spawns a named blocking function: the call runs concurrently,
+// never under mu, so it is legal too.
+func (s *server) handoff() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.send()
+}
+
+// poll uses a select with default under the lock: non-blocking, legal.
+func (s *server) poll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// wait has no default: the select parks while mu is held.
+func (s *server) wait() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while lockorder.server.mu is held"
+	case v := <-s.ch:
+		return v
+	}
+}
+
+// logWrite is the declog-writer pattern: the mutex IS the serializer for
+// the file appends, so the site is annotated.
+func (s *server) logWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Write(nil) //taps:allow lockorder the mutex serializes appends by contract
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab establishes the order a -> b.
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// ba closes the cycle.
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order inversion"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// again re-acquires a mutex it already holds.
+func (p *pair) again() {
+	p.a.Lock()
+	p.a.Lock() // want "acquired while already held"
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+var wg sync.WaitGroup
+
+// waitUnderLock parks on a WaitGroup while holding a caller's mutex.
+func waitUnderLock(mu *sync.Mutex) {
+	mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while lockorder.mu is held"
+	mu.Unlock()
+}

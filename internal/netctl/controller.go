@@ -167,7 +167,7 @@ func (c *Controller) EnableDecisionLog(path string) error {
 			Speedup:       c.cfg.Speedup,
 			LinkNames:     names,
 		})
-		return w.Sync()
+		return w.Sync() //taps:allow lockorder one-time setup before Serve; the meta record must be durable before any decision
 	}
 	rp := declog.NewReplayer()
 	rp.ApplyAll(recs)
@@ -274,10 +274,17 @@ func (c *Controller) Close() error {
 		c.mu.Lock()
 		l := c.listener
 		w := c.declog
+		conns := make([]*codec, 0, len(c.agents))
 		for cd := range c.agents {
-			cd.close()
+			conns = append(conns, cd)
 		}
 		c.mu.Unlock()
+		// Teardown happens outside the lock (lockorder): closing a socket
+		// can block, and the handle() goroutines need c.mu to unregister —
+		// closing under the lock could deadlock shutdown against them.
+		for _, cd := range conns {
+			cd.close()
+		}
 		var err error
 		if l != nil {
 			err = l.Close()
@@ -343,7 +350,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// Duplicate probe (agent retry): replan and re-broadcast.
 		if c.accepted[p.Task] {
 			c.replanLocked(span.ReplanArrival, p.Task)
-			c.declog.Sync()
+			c.declog.Sync() //taps:allow lockorder write-ahead durability must complete inside the decision's critical section
 			c.broadcastGrantsLocked()
 		} else {
 			c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "already rejected"}})
@@ -352,27 +359,33 @@ func (c *Controller) onProbe(p ProbeMsg) {
 	}
 	c.decided[p.Task] = true
 	now := c.now()
-	c.spans.TaskArrived(p.Task, now, p.Deadline)
 
-	// Tentative: all in-flight flows plus the new task's.
+	// Tentative: all in-flight flows plus the new task's. The arrival
+	// record is written ahead of the span emissions (emitparity): if the
+	// process dies between the two, the authoritative log already holds
+	// what the derived span trees would have shown.
+	labels := make([]string, len(p.Flows))
 	var infos []declog.FlowInfo
 	if c.declog != nil {
 		infos = make([]declog.FlowInfo, 0, len(p.Flows))
 	}
-	for _, fi := range p.Flows {
+	for i, fi := range p.Flows {
 		c.flows[fi.ID] = &ctlFlow{
 			id: fi.ID, task: p.Task, src: fi.Src, dst: fi.Dst,
 			size: fi.Size, deadline: p.Deadline,
 		}
 		c.taskFlows[p.Task] = append(c.taskFlows[p.Task], fi.ID)
-		label := c.graph.Node(fi.Src).Name + "->" + c.graph.Node(fi.Dst).Name
-		c.spans.FlowArrived(int64(fi.ID), p.Task, now, p.Deadline, label)
+		labels[i] = c.graph.Node(fi.Src).Name + "->" + c.graph.Node(fi.Dst).Name
 		if c.declog != nil {
 			infos = append(infos, declog.FlowInfo{ID: int64(fi.ID),
-				Src: int32(fi.Src), Dst: int32(fi.Dst), Size: fi.Size, Label: label})
+				Src: int32(fi.Src), Dst: int32(fi.Dst), Size: fi.Size, Label: labels[i]})
 		}
 	}
 	c.declog.TaskArrived(now, p.Task, p.Deadline, infos)
+	c.spans.TaskArrived(p.Task, now, p.Deadline)
+	for i, fi := range p.Flows {
+		c.spans.FlowArrived(int64(fi.ID), p.Task, now, p.Deadline, labels[i])
+	}
 	missed := c.planLocked(now, span.ReplanArrival, p.Task)
 	decision, victim := core.EvaluateRejectRule(missed, p.Task, c.fractionLocked(now), c.cfg.NoPreemption)
 	switch decision {
@@ -380,20 +393,20 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// Attribution reads the doomed task's flows and the tentative
 		// plan's occupancy, so it must precede the drop.
 		blocks := c.attributionLocked(p.Task, now)
-		c.spans.Attribute(p.Task, blocks)
 		c.declog.Attribute(now, p.Task, blocks)
-		c.spans.TaskEnded(p.Task, now, span.OutcomeRejected, "reject rule")
+		c.spans.Attribute(p.Task, blocks)
 		c.declog.TaskEnded(now, p.Task, span.OutcomeRejected, "reject rule")
+		c.spans.TaskEnded(p.Task, now, span.OutcomeRejected, "reject rule")
 		for _, fid := range c.taskFlows[p.Task] {
-			c.spans.FlowEnded(int64(fid), now, false, false, "task rejected")
 			c.declog.FlowEnded(now, int64(fid), false, false, "task rejected")
+			c.spans.FlowEnded(int64(fid), now, false, false, "task rejected")
 		}
 		c.declog.Reject(now, p.Task, "reject rule")
 		c.dropTaskLocked(p.Task)
 		c.replanLocked(span.ReplanPostReject, p.Task)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskRejected,
 			Task: p.Task, Reason: "reject rule"})
-		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
+		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d rejected", p.Task)
@@ -402,17 +415,17 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		// are dropped (dropTaskLocked deletes them, which reads as 100%).
 		frac := c.fractionLocked(now)(victim)
 		blocks := c.attributionLocked(victim, now)
-		c.spans.Attribute(victim, blocks)
 		c.declog.Attribute(now, victim, blocks)
-		c.spans.TaskEnded(victim, now, span.OutcomePreempted,
-			fmt.Sprintf("preempted by task %d", p.Task))
+		c.spans.Attribute(victim, blocks)
 		c.declog.TaskEnded(now, victim, span.OutcomePreempted,
 			fmt.Sprintf("preempted by task %d", p.Task))
-		c.spans.PreemptedBy(victim, p.Task)
+		c.spans.TaskEnded(victim, now, span.OutcomePreempted,
+			fmt.Sprintf("preempted by task %d", p.Task))
 		c.declog.Preempt(now, victim, p.Task, frac, "preempted")
+		c.spans.PreemptedBy(victim, p.Task)
 		for _, fid := range c.taskFlows[victim] {
-			c.spans.FlowEnded(int64(fid), now, false, false, "task preempted")
 			c.declog.FlowEnded(now, int64(fid), false, false, "task preempted")
+			c.spans.FlowEnded(int64(fid), now, false, false, "task preempted")
 		}
 		c.dropTaskLocked(victim)
 		c.accepted[p.Task] = true
@@ -420,15 +433,15 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskPreempted,
 			Task: victim, Fraction: frac, Reason: "preempted"})
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
-		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
+		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: victim, Reason: "preempted"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted, task %d preempted", p.Task, victim)
-	default:
+	case core.Accept:
 		c.accepted[p.Task] = true
 		c.declog.Admit(now, p.Task, false)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
-		c.declog.Sync() // write-ahead: the decision is durable before any agent hears it
+		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted", p.Task)
 	}
@@ -525,8 +538,8 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 			Scope:      scope,
 			Plans:      planSpans(planned, entries),
 		}
-		c.spans.Replan(rs)
 		c.declog.Replan(now, rs)
+		c.spans.Replan(rs)
 	}
 	missed := make(map[int64]bool)
 	for i, e := range entries {
@@ -608,7 +621,7 @@ func (c *Controller) broadcastGrantsLocked() {
 
 func (c *Controller) broadcastLocked(env Envelope) {
 	for cd := range c.agents {
-		if err := cd.send(env); err != nil {
+		if err := cd.send(env); err != nil { //taps:allow lockorder grants must serialize under the decision lock so agents observe monotone schedules
 			c.cfg.Logf("netctl: broadcast to agent failed: %v", err)
 		}
 	}
@@ -628,15 +641,15 @@ func (c *Controller) onTerm(t TermMsg) {
 	if c.delta != nil {
 		c.delta.Revoke(now, f.id)
 	}
-	c.spans.FlowEnded(int64(f.id), now, true, now <= f.deadline, "")
 	c.declog.FlowEnded(now, int64(f.id), true, now <= f.deadline, "")
+	c.spans.FlowEnded(int64(f.id), now, true, now <= f.deadline, "")
 	for _, fid := range c.taskFlows[f.task] {
 		if g, ok := c.flows[fid]; !ok || !g.done {
 			return
 		}
 	}
-	c.spans.TaskEnded(f.task, now, span.OutcomeCompleted, "")
 	c.declog.TaskEnded(now, f.task, span.OutcomeCompleted, "")
+	c.spans.TaskEnded(f.task, now, span.OutcomeCompleted, "")
 }
 
 // Snapshot is introspection for tests and operators.

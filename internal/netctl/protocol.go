@@ -135,7 +135,7 @@ func newCodec(conn net.Conn) *codec {
 func (c *codec) send(env Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := c.enc.Encode(env); err != nil {
+	if err := c.enc.Encode(env); err != nil { //taps:allow lockorder wmu exists only to serialize whole frames onto this socket; no other lock is ever taken with it
 		return fmt.Errorf("netctl: send %s: %w", env.Type, err)
 	}
 	return nil

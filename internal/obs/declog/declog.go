@@ -410,7 +410,7 @@ func decodeRecord(payload []byte) (Record, error) {
 		r.Link = int32(d.varint())
 	case KindCommit:
 		r.Mode = CommitMode(d.byte())
-	default:
+	default: //taps:allow kindexhaustive corrupt-input guard: the decoder must reject kinds from the future, not switch over the compiled set
 		return Record{}, fmt.Errorf("declog: unknown record kind %d", r.Kind)
 	}
 	if d.err != nil {

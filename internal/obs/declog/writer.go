@@ -113,7 +113,7 @@ func (w *Writer) Append(r *Record) error {
 	payload := w.buf[frameHeaderSize:]
 	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := w.f.Write(w.buf); err != nil {
+	if _, err := w.f.Write(w.buf); err != nil { //taps:allow lockorder Writer.mu IS the append serializer: the write must happen under it to keep frames contiguous
 		w.err = fmt.Errorf("declog: append: %w", err)
 		return w.err
 	}
@@ -147,7 +147,7 @@ func (w *Writer) syncLocked() error {
 	// The wall-clock fsync timing lives in obs (TimeDeclogSync): this
 	// package records only simulated time and stays inside the tapslint
 	// wallclock scope without suppressions.
-	if err := w.health.TimeDeclogSync(w.f.Sync); err != nil {
+	if err := w.health.TimeDeclogSync(w.f.Sync); err != nil { //taps:allow lockorder group-commit fsync: callers batched behind mu are exactly the ones this sync makes durable
 		w.err = fmt.Errorf("declog: fsync: %w", err)
 		return w.err
 	}
@@ -165,7 +165,7 @@ func (w *Writer) Close() error {
 		return w.err
 	}
 	syncErr := w.syncLocked()
-	closeErr := w.f.Close()
+	closeErr := w.f.Close() //taps:allow lockorder one-time teardown; mu excludes concurrent appends against the closing fd
 	w.f = nil
 	if w.err == nil && closeErr != nil {
 		w.err = fmt.Errorf("declog: close: %w", closeErr)

@@ -532,7 +532,7 @@ func (tb *Testbed) controllerAdmit(task int) {
 		}
 		tb.accepted[victim] = false
 		tb.acceptWithPlan(task, now)
-	default:
+	case core.Accept:
 		tb.accepted[task] = true
 		tb.commitEntries(sortedIDs, entries)
 		tb.send(msgGrant, task, -1)

@@ -147,6 +147,8 @@ func (st *State) ActiveFlows() []*Flow {
 // returns the extended slice. Schedulers that run on every event instant
 // pass a buffer they keep across calls (truncated to [:0]) so the per-tick
 // snapshot costs no allocation once the buffer has grown to fleet size.
+//
+//taps:hotpath
 func (st *State) AppendActiveFlows(dst []*Flow) []*Flow {
 	n := len(dst)
 	for _, f := range st.active {
@@ -340,8 +342,8 @@ func (e *Engine) taskEnded(t *Task, note string, preempted bool) {
 		if preempted {
 			outcome = span.OutcomePreempted
 		}
-		e.cfg.Spans.TaskEnded(int64(t.ID), e.st.now, outcome, note)
 		e.cfg.DecLog.TaskEnded(e.st.now, int64(t.ID), outcome, note)
+		e.cfg.Spans.TaskEnded(int64(t.ID), e.st.now, outcome, note)
 	}
 	if preempted {
 		e.sched.OnTaskPreempted(e.st, t)
@@ -414,19 +416,19 @@ func (e *Engine) finishSpans() {
 	for _, f := range st.flows {
 		switch f.State {
 		case FlowDone:
-			r.FlowEnded(int64(f.ID), f.Finish, true, f.Finish <= f.Deadline, "")
 			w.FlowEnded(f.Finish, int64(f.ID), true, f.Finish <= f.Deadline, "")
+			r.FlowEnded(int64(f.ID), f.Finish, true, f.Finish <= f.Deadline, "")
 		case FlowKilled:
-			r.FlowEnded(int64(f.ID), f.Finish, false, false, f.KillNote)
 			w.FlowEnded(f.Finish, int64(f.ID), false, false, f.KillNote)
+			r.FlowEnded(int64(f.ID), f.Finish, false, false, f.KillNote)
 		}
 		if segs := e.segments[f.ID]; len(segs) > 0 {
 			out := make([]span.Segment, len(segs))
 			for i, s := range segs {
 				out[i] = span.Segment{Interval: s.Interval, Rate: s.Rate}
 			}
-			r.ImportSegments(int64(f.ID), out)
 			w.Segments(st.now, int64(f.ID), out)
+			r.ImportSegments(int64(f.ID), out)
 		}
 	}
 	for _, t := range st.tasks {
@@ -445,11 +447,11 @@ func (e *Engine) finishSpans() {
 			}
 		}
 		if allDone {
-			r.TaskEnded(int64(t.ID), end, span.OutcomeCompleted, "")
 			w.TaskEnded(end, int64(t.ID), span.OutcomeCompleted, "")
+			r.TaskEnded(int64(t.ID), end, span.OutcomeCompleted, "")
 		} else {
-			r.TaskEnded(int64(t.ID), end, span.OutcomeKilled, note)
 			w.TaskEnded(end, int64(t.ID), span.OutcomeKilled, note)
+			r.TaskEnded(int64(t.ID), end, span.OutcomeKilled, note)
 		}
 	}
 }
@@ -484,10 +486,10 @@ func (e *Engine) applyFailures() {
 		}
 		e.cfg.Obs.Record(obs.Event{Time: st.now, Kind: obs.KindLinkDown,
 			Task: obs.NoTask, Link: int32(lf.Link)})
-		e.cfg.Spans.LinkWentDown(int32(lf.Link), st.now)
 		// Log the failure before the scheduler reacts, so replay sees the
 		// recovery re-plan after its cause.
 		e.cfg.DecLog.LinkDown(st.now, int32(lf.Link))
+		e.cfg.Spans.LinkWentDown(int32(lf.Link), st.now)
 		e.sched.OnLinkDown(st, lf.Link)
 	}
 }
@@ -504,10 +506,13 @@ func (e *Engine) admitArrivals() {
 			Deadline: spec.Arrival + spec.Deadline,
 		}
 		st.tasks = append(st.tasks, task)
-		e.cfg.Spans.TaskArrived(int64(task.ID), task.Arrival, task.Deadline)
 		var infos []declog.FlowInfo
 		if e.cfg.DecLog != nil {
 			infos = make([]declog.FlowInfo, 0, len(spec.Flows))
+		}
+		var labels []string
+		if e.cfg.Spans != nil || e.cfg.DecLog != nil {
+			labels = make([]string, 0, len(spec.Flows))
 		}
 		for _, fs := range spec.Flows {
 			f := &Flow{
@@ -528,7 +533,7 @@ func (e *Engine) admitArrivals() {
 			task.Flows = append(task.Flows, f.ID)
 			if e.cfg.Spans != nil || e.cfg.DecLog != nil {
 				label := st.graph.Node(fs.Src).Name + "->" + st.graph.Node(fs.Dst).Name
-				e.cfg.Spans.FlowArrived(int64(f.ID), int64(task.ID), f.Arrival, f.Deadline, label)
+				labels = append(labels, label)
 				if e.cfg.DecLog != nil {
 					infos = append(infos, declog.FlowInfo{ID: int64(f.ID),
 						Src: int32(fs.Src), Dst: int32(fs.Dst), Size: fs.Size, Label: label})
@@ -546,7 +551,16 @@ func (e *Engine) admitArrivals() {
 			}
 			st.active[f.ID] = f
 		}
+		// The arrival record is written ahead of the span emissions; the
+		// span stream keeps its original TaskArrived-then-FlowArrived order.
 		e.cfg.DecLog.TaskArrived(task.Arrival, int64(task.ID), task.Deadline, infos)
+		e.cfg.Spans.TaskArrived(int64(task.ID), task.Arrival, task.Deadline)
+		if e.cfg.Spans != nil || e.cfg.DecLog != nil {
+			for i, fid := range task.Flows {
+				f := st.flows[fid]
+				e.cfg.Spans.FlowArrived(int64(f.ID), int64(task.ID), f.Arrival, f.Deadline, labels[i])
+			}
+		}
 		e.sched.OnTaskArrival(st, task)
 	}
 }

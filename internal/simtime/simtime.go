@@ -259,6 +259,8 @@ func Union(a, b IntervalSet) IntervalSet {
 //
 // dst must not alias any element of sets. Passing a pre-built slice as
 // `sets...` avoids the variadic allocation.
+//
+//taps:hotpath
 func MergeInto(dst *IntervalSet, sets ...IntervalSet) {
 	dst.ivs = dst.ivs[:0]
 	// Per-set cursors; planner paths have at most a handful of links, so
@@ -271,7 +273,7 @@ func MergeInto(dst *IntervalSet, sets ...IntervalSet) {
 			curs[i] = 0
 		}
 	} else {
-		curs = make([]int, len(sets))
+		curs = make([]int, len(sets)) //taps:allow hotpathalloc spill path for more sets than the fixed cursor buffer; callers stay within it
 	}
 	for {
 		// Pick the set whose next interval starts earliest.
@@ -302,6 +304,8 @@ func MergeInto(dst *IntervalSet, sets ...IntervalSet) {
 }
 
 // UnionInPlace adds every interval of b into s.
+//
+//taps:hotpath
 func (s *IntervalSet) UnionInPlace(b *IntervalSet) {
 	for _, iv := range b.ivs {
 		s.Add(iv)
@@ -338,6 +342,8 @@ func (s IntervalSet) ComplementWithin(window Interval) IntervalSet {
 // ComplementWithinInto is ComplementWithin into a caller-owned scratch set:
 // dst's previous contents are discarded and its backing storage reused, so
 // a warm dst makes the operation allocation-free. dst must not alias s.
+//
+//taps:hotpath
 func (s IntervalSet) ComplementWithinInto(window Interval, dst *IntervalSet) {
 	dst.ivs = dst.ivs[:0]
 	if window.Empty() {
@@ -376,6 +382,8 @@ func (s IntervalSet) TakeFirst(from Time, units Time) (taken IntervalSet, finish
 // contents are discarded and its backing storage reused, so a warm dst makes
 // the operation allocation-free. dst must not alias s. The prefix of
 // intervals entirely before `from` is skipped by binary search.
+//
+//taps:hotpath
 func (s IntervalSet) TakeFirstInto(from Time, units Time, dst *IntervalSet) (finish Time, ok bool) {
 	dst.ivs = dst.ivs[:0]
 	if units <= 0 {
@@ -424,6 +432,8 @@ func (s IntervalSet) NextBoundaryAfter(t Time) Time {
 // GCBefore removes all instants strictly before t. Planners call this to
 // drop occupancy records that can no longer influence allocation. The trim
 // happens in place, without allocating.
+//
+//taps:hotpath
 func (s *IntervalSet) GCBefore(t Time) {
 	i := s.firstEndAbove(t)
 	if i > 0 {
