@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench bench-json
+.PHONY: check fmt vet build test race lint bench bench-json bench-netctl netctl-soak-smoke
 
 # check is the full CI gate: formatting, vet, build, lint, tests with the
 # race detector. CI (.github/workflows/ci.yml) runs exactly this target.
@@ -44,3 +44,29 @@ bench-json:
 		$(GO) test -run '^$$' -bench . -benchmem ./internal/simtime ./internal/core && \
 		$(GO) test -run '^$$' -bench 'BenchmarkFig6DeadlineSweepSingleRooted|BenchmarkFig7DeadlineSweepFatTree' -benchmem . ; \
 	} | $(GO) run ./cmd/benchjson -o BENCH_planner.json -label after
+
+# bench-netctl refreshes BENCH_netctl.json: tapsload soaks an in-process
+# controller at NETCTL_CONNS connections (open-loop Poisson arrivals,
+# write-ahead declog on) and benchjson folds admission throughput and the
+# per-stage decision-latency quantiles into the trajectory file. Two
+# curves per run: tightness 1 (normal) and 0.05 (RCD-style
+# close-to-deadline storm). See EXPERIMENTS.md for methodology.
+NETCTL_CONNS ?= 1000
+NETCTL_RATE ?= 3
+NETCTL_LABEL ?= after
+bench-netctl:
+	@{ \
+		$(GO) run ./cmd/tapsload -selfhost -conns $(NETCTL_CONNS) -rate $(NETCTL_RATE) \
+			-warmup 3s -duration 20s -speedup 1 -deadline-ms 2000 -tightness 1 \
+			-declog "$$(mktemp -u)" -bench && \
+		$(GO) run ./cmd/tapsload -selfhost -conns $(NETCTL_CONNS) -rate $(NETCTL_RATE) \
+			-warmup 3s -duration 20s -speedup 1 -deadline-ms 2000 -tightness 0.05 \
+			-declog "$$(mktemp -u)" -bench ; \
+	} | $(GO) run ./cmd/benchjson -o BENCH_netctl.json -label $(NETCTL_LABEL)
+
+# netctl-soak-smoke is the CI gate: a short soak under the race detector;
+# tapsload exits non-zero on dropped probes or an unhealthy controller.
+netctl-soak-smoke:
+	$(GO) run -race ./cmd/tapsload -selfhost -conns 32 -rate 5 \
+		-warmup 1s -duration 4s -speedup 1 -deadline-ms 2000 \
+		-declog "$$(mktemp -u)"

@@ -23,11 +23,14 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's measured cost.
+// Entry is one benchmark's measured cost. Units beyond the standard
+// testing trio (e.g. tasks/sec and the p50/p99 stage latencies emitted by
+// `tapsload -bench`) land in Extra keyed by their unit string.
 type Entry struct {
-	NsOp     float64 `json:"ns_op"`
-	BOp      int64   `json:"b_op"`
-	AllocsOp int64   `json:"allocs_op"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      int64              `json:"b_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 // Section is one labeled measurement run (e.g. "baseline", "after").
@@ -110,6 +113,13 @@ func parseBenchLine(line string) (string, Entry, bool) {
 			e.BOp = int64(v)
 		case "allocs/op":
 			e.AllocsOp = int64(v)
+		default:
+			// Custom units (testing.B.ReportMetric style): keep them all.
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[f[i+1]] = v
+			seen = true
 		}
 	}
 	return name, e, seen

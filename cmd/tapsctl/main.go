@@ -106,6 +106,7 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		fmt.Fprint(os.Stderr, ctl.Recorder().SummaryText(nil))
+		fmt.Fprint(os.Stderr, ctl.LoadSummaryText())
 		shutdown()
 		os.Exit(0)
 	}()

@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft open-file limit to the hard cap so a
+// 10k-connection soak does not die on EMFILE. Best-effort: a refusal just
+// means the operator must raise ulimit -n themselves.
+func raiseFDLimit() {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+}

@@ -88,12 +88,22 @@ type Controller struct {
 	spans   *span.Recorder
 	declog  *declog.Writer
 
+	load *loadStats
+
 	mu        sync.Mutex
 	agents    map[*codec]HelloMsg
 	flows     map[uint64]*ctlFlow
 	taskFlows map[int64][]uint64
 	accepted  map[int64]bool
 	decided   map[int64]bool
+	// stageAcc points at the in-progress probe's stage accumulator while
+	// onProbe holds mu; helpers called from the critical section charge
+	// their elapsed time to it via stageAdd.
+	stageAcc *[stageCount]time.Duration
+	// closing is set under mu before Close tears anything down, so
+	// ServeListener can refuse late conns instead of racing wg.Add against
+	// wg.Wait (which would let a handle goroutine append to a closed log).
+	closing bool
 
 	listener  net.Listener
 	wg        sync.WaitGroup
@@ -119,6 +129,7 @@ func NewController(g *topology.Graph, r topology.Routing, cfg ControllerConfig) 
 		epoch:     time.Now(), //taps:allow wallclock real controller: the virtual clock is anchored to a wall-clock epoch
 		obs:       obs.NewRecorder(obs.Options{}),
 		spans:     span.NewRecorder(),
+		load:      newLoadStats(),
 		agents:    make(map[*codec]HelloMsg),
 		flows:     make(map[uint64]*ctlFlow),
 		taskFlows: make(map[int64][]uint64),
@@ -247,10 +258,24 @@ func (c *Controller) ServeListener(l net.Listener) error {
 				return fmt.Errorf("netctl: accept: %w", err)
 			}
 		}
+		// The closing check and wg.Add share one critical section with
+		// Close's closing=true write: either this conn's handle goroutine is
+		// registered before Close reaches wg.Wait (and the declog outlives
+		// its appends), or the conn is refused. Without this, a conn
+		// accepted just before Close could append to a closed log.
+		c.mu.Lock()
+		if c.closing {
+			c.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		c.wg.Add(1)
+		c.mu.Unlock()
+		cd := newCodec(conn)
+		cd.onDecode = c.observeDecode
 		go func() {
 			defer c.wg.Done()
-			c.handle(newCodec(conn))
+			c.handle(cd)
 		}()
 	}
 }
@@ -272,6 +297,7 @@ func (c *Controller) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.mu.Lock()
+		c.closing = true
 		l := c.listener
 		w := c.declog
 		conns := make([]*codec, 0, len(c.agents))
@@ -315,6 +341,9 @@ func (c *Controller) handle(cd *codec) {
 	}
 	c.mu.Lock()
 	c.agents[cd] = hello
+	if len(c.agents) > c.load.peakAgents {
+		c.load.peakAgents = len(c.agents)
+	}
 	c.mu.Unlock()
 	c.cfg.Logf("netctl: agent %s (host %d) connected", hello.Agent, hello.Host)
 	defer func() {
@@ -331,6 +360,11 @@ func (c *Controller) handle(cd *codec) {
 		case TypeProbe:
 			if env.Probe != nil {
 				c.onProbe(*env.Probe)
+			} else {
+				c.mu.Lock()
+				c.load.probesDropped++
+				c.mu.Unlock()
+				c.cfg.Logf("netctl: probe frame without payload from %s", hello.Agent)
 			}
 		case TypeTerm:
 			if env.Term != nil {
@@ -342,15 +376,36 @@ func (c *Controller) handle(cd *codec) {
 	}
 }
 
+// observeDecode feeds one frame's unmarshal time to the decode-stage
+// sketch (codec hook; called outside mu, per frame rather than per probe).
+func (c *Controller) observeDecode(d time.Duration) {
+	c.load.stages[StageDecode].Observe(time.Now().UnixNano(), d) //taps:allow wallclock obs-only stage latency; never feeds virtual time
+}
+
 // onProbe runs Alg. 1 + the reject rule and broadcasts the outcome.
 func (c *Controller) onProbe(p ProbeMsg) {
+	t0 := time.Now() //taps:allow wallclock obs-only stage latency decomposition; never feeds virtual time
+	c.load.inFlight.Add(1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var acc [stageCount]time.Duration
+	acc[StageLockWait] = time.Since(t0) //taps:allow wallclock obs-only stage latency; never feeds virtual time
+	c.stageAcc = &acc
+	c.load.probesTotal++
+	defer func() {
+		c.stageAcc = nil
+		c.mu.Unlock()
+		// Sketches are fed after mu is released: a slow scrape contending
+		// on the sketch lock must never extend the decision lock.
+		end := time.Now() //taps:allow wallclock obs-only stage latency decomposition
+		acc[StageTotal] = end.Sub(t0)
+		c.observeStages(end.UnixNano(), &acc)
+		c.load.inFlight.Add(-1)
+	}()
 	if c.decided[p.Task] {
 		// Duplicate probe (agent retry): replan and re-broadcast.
 		if c.accepted[p.Task] {
 			c.replanLocked(span.ReplanArrival, p.Task)
-			c.declog.Sync() //taps:allow lockorder write-ahead durability must complete inside the decision's critical section
+			c.declogSyncLocked()
 			c.broadcastGrantsLocked()
 		} else {
 			c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "already rejected"}})
@@ -406,7 +461,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.replanLocked(span.ReplanPostReject, p.Task)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskRejected,
 			Task: p.Task, Reason: "reject rule"})
-		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
+		c.declogSyncLocked()
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: p.Task, Reason: "reject rule"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d rejected", p.Task)
@@ -433,7 +488,7 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskPreempted,
 			Task: victim, Fraction: frac, Reason: "preempted"})
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
-		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
+		c.declogSyncLocked()
 		c.broadcastLocked(Envelope{Type: TypeReject, Reject: &RejectMsg{Task: victim, Reason: "preempted"}})
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted, task %d preempted", p.Task, victim)
@@ -441,10 +496,22 @@ func (c *Controller) onProbe(p ProbeMsg) {
 		c.accepted[p.Task] = true
 		c.declog.Admit(now, p.Task, false)
 		c.obs.Record(obs.Event{Time: now, Kind: obs.KindTaskAdmitted, Task: p.Task})
-		c.declog.Sync() //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
+		c.declogSyncLocked()
 		c.broadcastGrantsLocked()
 		c.cfg.Logf("netctl: task %d accepted", p.Task)
 	}
+}
+
+// declogSyncLocked runs the write-ahead fsync of a decision, charging the
+// wait to the in-progress probe's declog_sync stage. Without a decision
+// log the stage stays empty rather than recording no-op timings.
+func (c *Controller) declogSyncLocked() {
+	if c.declog == nil {
+		return
+	}
+	t0 := time.Now()                            //taps:allow wallclock obs-only stage latency; never feeds virtual time
+	c.declog.Sync()                             //taps:allow lockorder write-ahead contract: the decision must be durable before any agent hears it, so the fsync sits inside the critical section
+	c.stageAdd(StageDeclogSync, time.Since(t0)) //taps:allow wallclock obs-only stage latency; never feeds virtual time
 }
 
 // planLocked re-plans every undone flow of every accepted-or-pending task
@@ -519,13 +586,15 @@ func (c *Controller) planLocked(now simtime.Time, kind span.ReplanKind, trigger 
 	} else {
 		entries = c.planner.PlanAll(now, reqs, nil)
 	}
+	planDur := time.Since(t0) //taps:allow wallclock obs-only planner latency
+	c.stageAdd(StagePlan, planDur)
 	c.obs.Record(obs.Event{
 		Time:       now,
 		Kind:       obs.KindReplan,
 		Task:       obs.NoTask,
 		Flows:      int32(len(reqs)),
 		PathsTried: c.planner.PathsTried() - p0,
-		Duration:   time.Since(t0), //taps:allow wallclock obs-only planner latency
+		Duration:   planDur,
 	})
 	if c.spans.Enabled() || c.declog != nil {
 		planned := make([]*ctlFlow, len(items))
@@ -620,11 +689,13 @@ func (c *Controller) broadcastGrantsLocked() {
 }
 
 func (c *Controller) broadcastLocked(env Envelope) {
+	t0 := time.Now() //taps:allow wallclock obs-only stage latency; never feeds virtual time
 	for cd := range c.agents {
 		if err := cd.send(env); err != nil { //taps:allow lockorder grants must serialize under the decision lock so agents observe monotone schedules
 			c.cfg.Logf("netctl: broadcast to agent failed: %v", err)
 		}
 	}
+	c.stageAdd(StageBroadcast, time.Since(t0)) //taps:allow wallclock obs-only stage latency; never feeds virtual time
 }
 
 // onTerm marks a flow finished and releases its future occupancy. When the
@@ -632,6 +703,7 @@ func (c *Controller) broadcastLocked(env Envelope) {
 func (c *Controller) onTerm(t TermMsg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.load.termsTotal++
 	f, ok := c.flows[t.Flow]
 	if !ok || f.done {
 		return

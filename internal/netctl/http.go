@@ -9,8 +9,10 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 
 	"taps/internal/obs"
+	"taps/internal/obs/sketch"
 	"taps/internal/obs/span"
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -97,9 +99,14 @@ type EventsPage struct {
 // HTTPHandler returns a monitoring handler:
 //
 //	GET /status          -> Status JSON
-//	GET /healthz         -> 200 "ok"
-//	GET /metrics         -> Prometheus text exposition (decision counters,
-//	                        replan-latency histogram, link gauges)
+//	GET /healthz         -> Health JSON; 200 while serving with a healthy
+//	                        decision log, 503 otherwise
+//	GET /load            -> Load JSON: connected agents, probe rate,
+//	                        per-stage windowed decision-latency quantiles,
+//	                        declog backlog, goroutine/GC stats
+//	GET /metrics         -> Prometheus text exposition (build info,
+//	                        decision counters, replan-latency histogram,
+//	                        link gauges, per-stage latency sketches)
 //	GET /events?since=N  -> EventsPage JSON: events with Seq > N
 //	                        (&limit=M caps the page size, default 256)
 //	GET /trace           -> Chrome trace_event JSON of the causal span
@@ -127,12 +134,36 @@ func (c *Controller) HTTPHandler() http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok"))
+		h := c.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("GET /load", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(c.Load()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteBuildInfo(w, c.epoch.UnixNano()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		linkName := func(l int32) string { return c.graph.Link(topology.LinkID(l)).Name }
 		if err := obs.WritePrometheus(w, c.obs, linkName); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		now := time.Now().UnixNano() //taps:allow wallclock obs-only: live-window quantiles are anchored to scrape time
+		if err := sketch.WritePrometheus(w, "taps_ctl_stage_seconds",
+			"Controller admission-path latency by stage.", "stage",
+			c.stageLabeled(), now); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

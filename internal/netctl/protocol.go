@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"taps/internal/simtime"
 	"taps/internal/topology"
@@ -126,6 +127,10 @@ type codec struct {
 	r    *bufio.Reader
 	wmu  sync.Mutex
 	enc  *json.Encoder
+	// onDecode, when set, receives the CPU time spent unmarshalling each
+	// inbound frame (excludes time blocked waiting for bytes). The
+	// controller hooks it to feed the StageDecode sketch.
+	onDecode func(d time.Duration)
 }
 
 func newCodec(conn net.Conn) *codec {
@@ -146,8 +151,16 @@ func (c *codec) recv() (Envelope, error) {
 	if err != nil {
 		return Envelope{}, err
 	}
+	var t0 time.Time
+	if c.onDecode != nil {
+		t0 = time.Now() //taps:allow wallclock obs-only decode-stage latency; never feeds virtual time
+	}
 	var env Envelope
-	if err := json.Unmarshal(line, &env); err != nil {
+	err = json.Unmarshal(line, &env)
+	if c.onDecode != nil {
+		c.onDecode(time.Since(t0)) //taps:allow wallclock obs-only stage latency; never feeds virtual time
+	}
+	if err != nil {
 		return Envelope{}, fmt.Errorf("netctl: decode frame: %w", err)
 	}
 	return env, nil

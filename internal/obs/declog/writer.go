@@ -84,6 +84,18 @@ func (w *Writer) Path() string {
 	return w.path
 }
 
+// Pending returns the number of records appended since the last fsync —
+// the write-ahead backlog an operator sees on /load (zero on a nil
+// writer).
+func (w *Writer) Pending() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
 // Err returns the first write error, if any.
 func (w *Writer) Err() error {
 	if w == nil {

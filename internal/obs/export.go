@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -252,6 +254,39 @@ func WritePrometheus(w io.Writer, r *Recorder, linkName func(int32) string) erro
 		fmt.Fprintf(&b, "taps_replan_full_fallbacks_total %d\n", rs.FullFallbacks)
 	}
 
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteBuildInfo writes the taps_build_info gauge: a constant-1 series
+// whose labels carry the binary's go version, VCS revision, and the
+// controller's virtual-clock epoch — dashboards join it against the other
+// series to spot version skew and restarts. epochUnixNano 0 omits the
+// epoch label (exporters without a virtual clock).
+func WriteBuildInfo(w io.Writer, epochUnixNano int64) error {
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && revision != "unknown" {
+			revision += "-dirty"
+		}
+	}
+	var b strings.Builder
+	b.WriteString("# HELP taps_build_info Build metadata; the value is always 1.\n")
+	b.WriteString("# TYPE taps_build_info gauge\n")
+	fmt.Fprintf(&b, "taps_build_info{go_version=%q,revision=%q", runtime.Version(), revision)
+	if epochUnixNano != 0 {
+		fmt.Fprintf(&b, ",epoch_unix_nano=\"%d\"", epochUnixNano)
+	}
+	b.WriteString("} 1\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

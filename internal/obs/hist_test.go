@@ -102,6 +102,63 @@ func TestHistQuantileWithinBucket(t *testing.T) {
 	}
 }
 
+// TestHistQuantileBoundaryBuckets pins the extreme buckets: bucket 0
+// holds exactly-zero durations, the top bucket holds everything Len64
+// maps past the last power of two, and estimates clamp to the observed
+// max rather than the bucket's (possibly astronomical) upper bound.
+func TestHistQuantileBoundaryBuckets(t *testing.T) {
+	// Bucket 0: zero durations quantize to exactly zero, not to 1ns.
+	var zeros Histogram
+	for i := 0; i < 10; i++ {
+		zeros.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := zeros.Quantile(q); got != 0 {
+			t.Fatalf("all-zero histogram q=%g: %d, want 0", q, got)
+		}
+	}
+	if zeros.Buckets()[0] != 10 {
+		t.Fatalf("zero observations landed in bucket %v", zeros.Buckets())
+	}
+
+	// Bucket 1 boundary: 1ns is the smallest non-zero duration and must
+	// not share a bucket with zero.
+	var tiny Histogram
+	tiny.Observe(0)
+	tiny.Observe(1)
+	if tiny.Quantile(0.25) != 0 || tiny.Quantile(1) != 1 {
+		t.Fatalf("0/1ns split: q25=%d q100=%d", tiny.Quantile(0.25), tiny.Quantile(1))
+	}
+
+	// Top bucket: MaxInt64 quantizes into the last bucket, whose upper
+	// bound is MaxInt64 — and the estimate clamps to the observed max.
+	var huge Histogram
+	big := time.Duration(1<<62 + 12345)
+	huge.Observe(big)
+	if got := huge.Quantile(0.99); got != big {
+		t.Fatalf("top-bucket quantile %d, want clamp to observed max %d", got, big)
+	}
+
+	// Out-of-range q clamps to the ends rather than indexing out of
+	// bounds.
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	if h.Quantile(-1) == 0 || h.Quantile(2) != h.Quantile(1) {
+		t.Fatalf("q clamping: q=-1 -> %d, q=2 -> %d, q=1 -> %d",
+			h.Quantile(-1), h.Quantile(2), h.Quantile(1))
+	}
+	// The power-of-two boundary itself: 2^k-1 and 2^k sit in adjacent
+	// buckets.
+	for k := 1; k < 62; k++ {
+		lo, hi := time.Duration(1<<k-1), time.Duration(1<<k)
+		if histBucketOf(lo)+1 != histBucketOf(hi) {
+			t.Fatalf("boundary 2^%d: bucket(%d)=%d, bucket(%d)=%d",
+				k, lo, histBucketOf(lo), hi, histBucketOf(hi))
+		}
+	}
+}
+
 func TestHistEmptyAndStats(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {

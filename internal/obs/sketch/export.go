@@ -1,0 +1,107 @@
+package sketch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"taps/internal/obs"
+)
+
+// EncodeJSON writes the snapshot codec form to w: one JSON document,
+// stable for a given sketch state (windows are start-ordered).
+func EncodeJSON(w io.Writer, sn Snapshot) error {
+	return json.NewEncoder(w).Encode(sn)
+}
+
+// DecodeJSON reads one snapshot back from its codec form.
+func DecodeJSON(r io.Reader) (Snapshot, error) {
+	var sn Snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return Snapshot{}, fmt.Errorf("sketch: decode snapshot: %w", err)
+	}
+	return sn, nil
+}
+
+// Labeled pairs one sketch with its label value for the Prometheus
+// exporter (e.g. stage="plan").
+type Labeled struct {
+	Label  string
+	Sketch *Sketch
+}
+
+// WindowQuantiles are the quantiles the exporter reports as live gauges.
+var WindowQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus writes one labeled sketch family in the Prometheus text
+// exposition format: an all-time cumulative histogram named name (with
+// labelKey=label per series) plus name+"_window" gauges carrying the live
+// p50/p95/p99 (label q) over each sketch's horizon as of now. Sketches
+// that never observed a sample are skipped; help documents the family.
+func WritePrometheus(w io.Writer, name, help, labelKey string, items []Labeled, now int64) error {
+	var b strings.Builder
+	wroteHist := false
+	for _, it := range items {
+		if it.Sketch.TotalCount() == 0 {
+			continue
+		}
+		if !wroteHist {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			wroteHist = true
+		}
+		sn := it.Sketch.Snapshot()
+		top := 0
+		for i, c := range sn.AllTime.Counts {
+			if c > 0 {
+				top = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += sn.AllTime.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, labelKey, it.Label, formatSeconds(obs.HistBucketUpper(i)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, it.Label, sn.AllTime.Count)
+		fmt.Fprintf(&b, "%s_sum{%s=%q} %s\n", name, labelKey, it.Label,
+			formatSeconds(time.Duration(sn.AllTime.SumNs)))
+		fmt.Fprintf(&b, "%s_count{%s=%q} %d\n", name, labelKey, it.Label, sn.AllTime.Count)
+	}
+	wroteWin := false
+	for _, it := range items {
+		count, _, _ := it.Sketch.WindowTotals(now)
+		if count == 0 {
+			continue
+		}
+		if !wroteWin {
+			fmt.Fprintf(&b, "# HELP %s_window Live quantiles over the sketch horizon (last %s).\n# TYPE %s_window gauge\n",
+				name, horizonLabel(items), name)
+			wroteWin = true
+		}
+		for _, q := range WindowQuantiles {
+			fmt.Fprintf(&b, "%s_window{%s=%q,q=\"%g\"} %s\n",
+				name, labelKey, it.Label, q, formatSeconds(it.Sketch.Quantile(now, q)))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// horizonLabel describes the horizon of the first live sketch (they are
+// uniform in practice — one geometry per family).
+func horizonLabel(items []Labeled) time.Duration {
+	for _, it := range items {
+		if h := it.Sketch.Horizon(); h > 0 {
+			return h
+		}
+	}
+	return 0
+}
+
+// formatSeconds renders a duration in seconds the way obs's Prometheus
+// exporter formats floats (no scientific notation).
+func formatSeconds(d time.Duration) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", d.Seconds()), "0"), ".")
+}

@@ -1,0 +1,295 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"taps/internal/obs"
+)
+
+func TestNilSketchIsSafe(t *testing.T) {
+	var s *Sketch
+	s.Observe(0, time.Millisecond)
+	if s.Quantile(0, 0.5) != 0 || s.TotalQuantile(0.99) != 0 || s.Rate(0) != 0 {
+		t.Fatal("nil sketch must report zeros")
+	}
+	if got := s.Snapshot(); got.WidthNs != 0 || len(got.Windows) != 0 {
+		t.Fatalf("nil snapshot: %+v", got)
+	}
+}
+
+func TestBucketLayoutMatchesObsHistogram(t *testing.T) {
+	// The sketch promises obs.Histogram's exact bucket layout: a single
+	// observation must yield identical quantile estimates from both.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Second)))
+		var h obs.Histogram
+		h.Observe(d)
+		s := New(4, time.Second)
+		s.Observe(0, d)
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got, want := s.Quantile(0, q), h.Quantile(q); got != want {
+				t.Fatalf("d=%v q=%v: sketch %v, histogram %v", d, q, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowRotationExpiresOldSamples(t *testing.T) {
+	const width = int64(time.Second)
+	s := New(3, time.Second) // horizon 3s
+	s.Observe(0, 10*time.Millisecond)
+	s.Observe(width, 20*time.Millisecond)
+
+	if c, _, _ := s.WindowTotals(width); c != 2 {
+		t.Fatalf("live count at t=1s: %d, want 2", c)
+	}
+	// Liveness is strict: a window is live while its start lies in
+	// (now-3s, now]. Window [0,1s) expires at now=3s exactly; window
+	// [1s,2s) at now=4s.
+	if c, _, _ := s.WindowTotals(3*width - 1); c != 2 {
+		t.Fatalf("live count just before t=3s: %d, want 2", c)
+	}
+	if c, _, _ := s.WindowTotals(3*width + width/2); c != 1 {
+		t.Fatalf("live count at t=3.5s: %d, want 1", c)
+	}
+	if c, _, _ := s.WindowTotals(4*width + width/2); c != 0 {
+		t.Fatalf("live count at t=4.5s: %d, want 0", c)
+	}
+	if c, _, _ := s.WindowTotals(10 * width); c != 0 {
+		t.Fatalf("live count at t=10s: %d, want 0", c)
+	}
+	if s.Quantile(10*width, 0.99) != 0 {
+		t.Fatal("expired horizon must report zero quantiles")
+	}
+	// The all-time aggregate never expires.
+	if s.TotalCount() != 2 || s.TotalQuantile(1) == 0 {
+		t.Fatalf("all-time lost samples: count=%d", s.TotalCount())
+	}
+}
+
+func TestRingSlotReuseResetsExpiredCounts(t *testing.T) {
+	const width = int64(time.Second)
+	s := New(2, time.Second)
+	s.Observe(0, time.Millisecond)
+	// t=2s maps onto the same ring slot as t=0; the slot must reset, not
+	// accumulate into the stale window.
+	s.Observe(2*width, 4*time.Millisecond)
+	if c, _, _ := s.WindowTotals(2 * width); c != 1 {
+		t.Fatalf("live count after slot reuse: %d, want 1", c)
+	}
+	if got := s.Quantile(2*width, 1); got != 4*time.Millisecond {
+		t.Fatalf("quantile after reuse: %v, want 4ms (max clamp)", got)
+	}
+}
+
+func TestBackwardClockStepFoldsIntoOccupyingWindow(t *testing.T) {
+	const width = int64(time.Second)
+	s := New(2, time.Second)
+	s.Observe(2*width, time.Millisecond)
+	// A sample stamped before the slot's current window start must not be
+	// dropped (nor resurrect the old window).
+	s.Observe(0, 2*time.Millisecond)
+	if c, _, _ := s.WindowTotals(2 * width); c != 2 {
+		t.Fatalf("live count after backward step: %d, want 2", c)
+	}
+}
+
+// TestMergeMatchesCombinedStream is the merge property test: quantiles of
+// merge(a, b) must equal the quantiles of one sketch fed the combined
+// sample stream (same geometry), including across window rotation and
+// slot eviction.
+func TestMergeMatchesCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		width := time.Duration(1+rng.Intn(3)) * time.Second
+		windows := 2 + rng.Intn(6)
+		a, b := New(windows, width), New(windows, width)
+		combined := New(windows, width)
+		span := int64(width) * int64(windows) * 2 // include rotation + expiry
+		n := 1 + rng.Intn(400)
+		// Timestamps are non-decreasing, as in real use: eviction in the
+		// per-shard sketches then mirrors eviction in the combined one.
+		ats := make([]int64, n)
+		for i := range ats {
+			ats[i] = rng.Int63n(span)
+		}
+		sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+		for _, at := range ats {
+			d := time.Duration(rng.Int63n(int64(time.Second)))
+			if rng.Intn(2) == 0 {
+				a.Observe(at, d)
+			} else {
+				b.Observe(at, d)
+			}
+			combined.Observe(at, d)
+		}
+		now := span
+		merged, err := Merge(a.Snapshot(), b.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := combined.Snapshot()
+		if merged.WindowCount(now) != ref.WindowCount(now) {
+			t.Fatalf("trial %d: merged live count %d, combined %d",
+				trial, merged.WindowCount(now), ref.WindowCount(now))
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+			got, want := merged.Quantile(now, q), ref.Quantile(now, q)
+			if got != want {
+				t.Fatalf("trial %d q=%v: merged %v, combined-stream %v", trial, q, got, want)
+			}
+			if merged.TotalQuantile(q) != ref.TotalQuantile(q) {
+				t.Fatalf("trial %d q=%v: all-time merged %v, combined %v",
+					trial, q, merged.TotalQuantile(q), ref.TotalQuantile(q))
+			}
+		}
+	}
+}
+
+// TestQuantileWithinOneBucketOfSamples pins the accuracy contract: for
+// samples that are all inside the live horizon, every reported quantile is
+// the log-bucket upper bound of a true sample quantile — within a factor
+// of two above it, never more than one bucket away.
+func TestQuantileWithinOneBucketOfSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		width := time.Second
+		windows := 4 + rng.Intn(4)
+		a, b := New(windows, width), New(windows, width)
+		// Keep every sample strictly inside the horizon: starts in
+		// (now-horizon, now] with now = horizon, no eviction possible.
+		now := int64(width) * int64(windows)
+		var all []time.Duration
+		n := 10 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			at := now - rng.Int63n(int64(width)*int64(windows-1))
+			d := time.Duration(rng.Int63n(int64(time.Second)))
+			if i%2 == 0 {
+				a.Observe(at, d)
+			} else {
+				b.Observe(at, d)
+			}
+			all = append(all, d)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		merged, err := Merge(a.Snapshot(), b.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := merged.WindowCount(now); got != uint64(n) {
+			t.Fatalf("trial %d: live count %d, want %d", trial, got, n)
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+			rank := int(math.Ceil(q*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			truth := all[rank]
+			got := merged.Quantile(now, q)
+			if got < truth || (truth > 0 && got > 2*truth) {
+				t.Fatalf("trial %d q=%v: sketch %v outside [truth, 2*truth] of %v",
+					trial, q, got, truth)
+			}
+		}
+	}
+}
+
+func TestMergeWidthMismatchFails(t *testing.T) {
+	a := New(2, time.Second)
+	b := New(2, 2*time.Second)
+	a.Observe(0, time.Millisecond)
+	b.Observe(0, time.Millisecond)
+	if _, err := Merge(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+	// Empty snapshots are a merge identity regardless of width.
+	if out, err := Merge(Snapshot{}, b.Snapshot()); err != nil || out.AllTime.Count != 1 {
+		t.Fatalf("identity merge: %v, %+v", err, out)
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := New(4, time.Second)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		s.Observe(rng.Int63n(4*int64(time.Second)), time.Duration(rng.Int63n(int64(time.Minute))))
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.Snapshot()
+	now := 4 * int64(time.Second)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if back.Quantile(now, q) != orig.Quantile(now, q) {
+			t.Fatalf("q=%v differs after round trip", q)
+		}
+	}
+	if back.AllTime != orig.AllTime {
+		t.Fatal("all-time window differs after round trip")
+	}
+}
+
+func TestRate(t *testing.T) {
+	s := New(10, time.Second) // horizon 10s
+	for i := 0; i < 50; i++ {
+		s.Observe(int64(i)*int64(time.Second)/5, time.Millisecond) // 50 events in 10s
+	}
+	now := 10 * int64(time.Second)
+	got := s.Rate(now)
+	if got < 4.0 || got > 5.1 {
+		t.Fatalf("rate = %v ev/s, want ~5", got)
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	s := New(8, time.Second)
+	now := int64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		now += int64(time.Second) / 3
+		s.Observe(now, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("Observe allocates %v/op, want 0", n)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	plan := New(4, time.Second)
+	idle := New(4, time.Second)
+	_ = idle // never observed: must not appear
+	for i := 0; i < 10; i++ {
+		plan.Observe(int64(i)*int64(time.Millisecond), time.Duration(i+1)*time.Millisecond)
+	}
+	var buf bytes.Buffer
+	err := WritePrometheus(&buf, "taps_ctl_stage_seconds", "Per-stage decision latency.", "stage",
+		[]Labeled{{"plan", plan}, {"idle", idle}}, int64(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`taps_ctl_stage_seconds_bucket{stage="plan",le="+Inf"} 10`,
+		`taps_ctl_stage_seconds_count{stage="plan"} 10`,
+		`taps_ctl_stage_seconds_window{stage="plan",q="0.99"}`,
+		"# TYPE taps_ctl_stage_seconds histogram",
+		"# TYPE taps_ctl_stage_seconds_window gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `stage="idle"`) {
+		t.Fatalf("idle stage must be skipped:\n%s", text)
+	}
+}
